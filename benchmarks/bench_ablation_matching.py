@@ -1,0 +1,126 @@
+"""Ablation: continuous price-time matching vs frequent batch auctions.
+
+Paper §5 cites frequent batch auctions (Budish et al.) as the
+*algorithmic* alternative to CloudEx's infrastructure-level fairness,
+and §7 names "new auction mechanisms" as a target use of CloudEx as a
+market simulator.  This benchmark runs that experiment: the canonical
+latency-arbitrage race.
+
+Scenario, repeated for many races: a stale sell quote rests at the old
+fair value; public news moves the fair value up; a *fast* trader
+(lower reaction latency) and a *slow* trader both fire buys at the new
+value.  Under continuous matching the earlier arrival takes the whole
+quote -- pure speed rent.  Under an FBA whose interval exceeds the
+latency gap, both land in the same batch and share the margin
+pro-rata, so speed buys (almost) nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.batchauction import BatchAuctionCore
+from repro.core.matching import MatchingEngineCore
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.types import OrderType, Side
+
+N_RACES = 400
+FAST_LATENCY_US = 80.0
+SLOW_LATENCY_US = 120.0
+JITTER_US = 15.0  # per-reaction noise; keeps the race occasionally close
+QUOTE_QTY = 100
+
+
+def _order(coid, participant, side, qty, price, ts):
+    return Order(
+        client_order_id=coid,
+        participant_id=participant,
+        symbol="S",
+        side=side,
+        order_type=OrderType.LIMIT,
+        quantity=qty,
+        limit_price=price,
+        gateway_id="g",
+        gateway_timestamp=ts,
+        gateway_seq=coid,
+    )
+
+
+def _race_arrivals(rng):
+    """Arrival times (ns) of the fast and slow traders' orders."""
+    fast = (FAST_LATENCY_US + rng.normal(0, JITTER_US)) * 1_000
+    slow = (SLOW_LATENCY_US + rng.normal(0, JITTER_US)) * 1_000
+    return int(max(fast, 1)), int(max(slow, 1))
+
+
+def run_races(mode: str, seed: int = 7):
+    """Returns (fast trader's share of the stale quote, races where the
+    fast trader captured strictly more than the slow one)."""
+    rng = np.random.default_rng(seed)
+    ids = itertools.count(1)
+    portfolio = PortfolioMatrix(default_cash=10**12)
+    for pid in ("maker", "fast", "slow"):
+        portfolio.open_account(pid)
+    fast_qty = 0
+    fast_strict_wins = 0
+    for race in range(N_RACES):
+        stale_price = 10_000
+        news_price = 10_010
+        fast_at, slow_at = _race_arrivals(rng)
+        quote = _order(next(ids), "maker", Side.SELL, QUOTE_QTY, stale_price, ts=0)
+        fast_buy = _order(next(ids), "fast", Side.BUY, QUOTE_QTY, news_price, ts=fast_at)
+        slow_buy = _order(next(ids), "slow", Side.BUY, QUOTE_QTY, news_price, ts=slow_at)
+        arrivals = sorted(
+            [(fast_at, fast_buy), (slow_at, slow_buy)], key=lambda pair: pair[0]
+        )
+
+        got = {"fast": 0, "slow": 0}
+        if mode == "continuous":
+            core = MatchingEngineCore(["S"], portfolio)
+            core.process_order(quote, now_local=0)
+            for at, order in arrivals:
+                result = core.process_order(order, now_local=at)
+                for trade in result.trades:
+                    got[trade.buyer] += trade.quantity
+        else:
+            core = BatchAuctionCore(["S"], portfolio, reference_prices={"S": stale_price})
+            core.add_order(quote)
+            for _, order in arrivals:
+                core.add_order(order)
+            result = core.run_auction("S", now_local=1_000_000)
+            for trade in result.trades:
+                got[trade.buyer] += trade.quantity
+
+        fast_qty += got["fast"]
+        if got["fast"] > got["slow"]:
+            fast_strict_wins += 1
+
+    total = N_RACES * QUOTE_QTY
+    return fast_qty / total, fast_strict_wins / N_RACES
+
+
+def test_latency_arbitrage_race(benchmark):
+    def run():
+        return {mode: run_races(mode) for mode in ("continuous", "fba")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation: who captures the stale quote? (fast vs slow trader)",
+        ["matching", "fast trader's share", "races won outright by fast"],
+        [
+            ["continuous price-time", f"{results['continuous'][0]:.1%}",
+             f"{results['continuous'][1]:.1%}"],
+            ["frequent batch auction", f"{results['fba'][0]:.1%}",
+             f"{results['fba'][1]:.1%}"],
+        ],
+    )
+    # Continuous: speed wins essentially always (latency gap >> jitter).
+    assert results["continuous"][0] > 0.9
+    # FBA: the margin is shared pro-rata -- speed rent eliminated.
+    assert results["fba"][0] == pytest.approx(0.5, abs=0.05)
+    assert results["fba"][1] < 0.1

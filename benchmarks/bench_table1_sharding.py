@@ -1,0 +1,98 @@
+"""Reproduce Table 1: throughput and median latency vs shard count.
+
+Paper (Table 1):
+
+    Shards  Throughput  Submission (us)  End-to-end (us)
+    1       22k         365              1128
+    2       40k         402              1089
+    4       49k         401              1094
+    8       61k         390              1080
+    16      61k         395              1044
+
+Throughput stops improving after ~8 shards because shards serialize
+updates to shared data structures (the portfolio matrix).  We measure
+saturation throughput under overload, and latencies at the paper's
+22k orders/s offered load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, paper_testbed_config, run_measured
+
+SHARD_COUNTS = (1, 2, 4, 8, 16)
+
+PAPER = {
+    1: (22_000, 365, 1128),
+    2: (40_000, 402, 1089),
+    4: (49_000, 401, 1094),
+    8: (61_000, 390, 1080),
+    16: (61_000, 395, 1044),
+}
+
+
+@pytest.fixture(scope="module")
+def table1_results():
+    results = {}
+    for shards in SHARD_COUNTS:
+        # Saturation throughput: offer ~1.3x the expected plateau.
+        overload = run_measured(
+            paper_testbed_config(n_shards=shards, cancel_fraction=0.0),
+            warmup_s=0.5,
+            measure_s=1.0,
+            rate_per_participant=1_700.0,
+        )
+        throughput = overload.metrics.throughput_per_s()
+        # Latency at the paper's offered load (22k/s aggregate), capped
+        # at 85% of the measured capacity: Table 1's own e2e numbers
+        # (~1.1 ms at every shard count) imply the engine was not run
+        # into saturation for the latency measurement.
+        per_participant = min(450.0, 0.85 * throughput / 48.0)
+        nominal = run_measured(
+            paper_testbed_config(n_shards=shards),
+            warmup_s=0.3,
+            measure_s=1.0,
+            rate_per_participant=per_participant,
+        )
+        submission = nominal.metrics.submission_summary().p50_us
+        e2e = nominal.metrics.e2e_summary().p50_us
+        results[shards] = (throughput, submission, e2e)
+    return results
+
+
+def test_table1(benchmark, table1_results):
+    def run():
+        return table1_results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for shards in SHARD_COUNTS:
+        throughput, submission, e2e = results[shards]
+        p_thr, p_sub, p_e2e = PAPER[shards]
+        rows.append(
+            [
+                shards,
+                f"{throughput/1000:.1f}k",
+                f"{submission:.0f}",
+                f"{e2e:.0f}",
+                f"{p_thr/1000:.0f}k / {p_sub} / {p_e2e}",
+            ]
+        )
+    emit(
+        "Table 1: CloudEx throughput and median latency vs shards",
+        ["shards", "throughput", "submission p50 (us)", "e2e p50 (us)", "paper (thr/sub/e2e)"],
+        rows,
+    )
+
+    throughputs = [results[s][0] for s in SHARD_COUNTS]
+    # Shape assertions: monotone non-decreasing ramp...
+    assert throughputs[0] == pytest.approx(22_000, rel=0.15)
+    assert throughputs[1] > 1.5 * throughputs[0]
+    # ... and a plateau: 8 and 16 shards within 5% of each other,
+    # roughly 2.5-3x the single-shard rate (paper: 2.8x).
+    assert throughputs[4] == pytest.approx(throughputs[3], rel=0.05)
+    assert 2.2 * throughputs[0] < throughputs[4] < 3.4 * throughputs[0]
+    # Submission latency is shard-count independent (paper: 365-402 us).
+    submissions = [results[s][1] for s in SHARD_COUNTS]
+    assert max(submissions) - min(submissions) < 80

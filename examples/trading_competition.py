@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A course-deployment-style trading competition (paper §3).
+
+The paper's first deployment ran a 3-hour competition between 13
+groups of students, with exchange-operated bots inducing price-time
+patterns "on which students could engineer algorithms".  This example
+recreates that setting at laptop scale:
+
+- pattern bots drive two symbols along a sine wave and a trend line,
+- "student" groups run momentum and market-making strategies,
+- the rest of the field trades zero-intelligence noise,
+- the final leaderboard marks everyone to market.
+
+Run:  python examples/trading_competition.py
+"""
+
+from repro import CloudExCluster, CloudExConfig
+from repro.traders import (
+    MarketMakerStrategy,
+    MomentumStrategy,
+    PatternBotStrategy,
+    TradingAgent,
+    ZeroIntelligenceStrategy,
+    sine_target,
+    trend_target,
+)
+
+SINE_SYMBOL = "SYM000"
+TREND_SYMBOL = "SYM001"
+
+
+def main() -> None:
+    config = CloudExConfig(
+        seed=13,
+        n_participants=12,
+        n_gateways=4,
+        n_symbols=6,
+        subscriptions_per_participant=3,
+        sequencer_delay_us=400.0,
+        holdrelease_delay_us=1000.0,
+        snapshot_interval_ms=50.0,
+    )
+    cluster = CloudExCluster(config)
+    base = config.initial_price
+
+    # Exchange-operated pattern bots (participants 0 and 1).
+    strategies = {
+        0: PatternBotStrategy(SINE_SYMBOL, sine_target(base, amplitude_ticks=60, period_s=2.0)),
+        1: PatternBotStrategy(TREND_SYMBOL, trend_target(base, ticks_per_s=40.0)),
+        # Student groups: momentum traders hunting the patterns.
+        2: MomentumStrategy([SINE_SYMBOL, TREND_SYMBOL], window=6, threshold_ticks=3, quantity=20),
+        3: MomentumStrategy([TREND_SYMBOL], window=4, threshold_ticks=2, quantity=30),
+        # A market-making group earning the spread.
+        4: MarketMakerStrategy([SINE_SYMBOL, TREND_SYMBOL], base, half_spread_ticks=4, quantity=40),
+    }
+    agents = []
+    for index, participant in enumerate(cluster.participants):
+        strategy = strategies.get(
+            index,
+            ZeroIntelligenceStrategy(
+                [SINE_SYMBOL, TREND_SYMBOL, "SYM002"], fallback_price=base
+            ),
+        )
+        agent = TradingAgent(
+            cluster.sim,
+            participant,
+            strategy,
+            rate_per_s=120.0,
+            rng=cluster.rngs.stream(f"competition:{participant.name}"),
+        )
+        agent.start()
+        agents.append(agent)
+
+    print("Running the competition (6 simulated seconds)...")
+    cluster.run(duration_s=6.0)
+
+    last_sine = cluster.exchange.shards[0].core.last_trade_price.get(SINE_SYMBOL)
+    last_trend = cluster.exchange.shards[0].core.last_trade_price.get(TREND_SYMBOL)
+    print(f"\n{SINE_SYMBOL} last trade: {last_sine/100:.2f} (sine around {base/100:.2f})")
+    print(f"{TREND_SYMBOL} last trade: {last_trend/100:.2f} (trending up from {base/100:.2f})")
+
+    roles = {0: "sine bot", 1: "trend bot", 2: "momentum A", 3: "momentum B", 4: "market maker"}
+    print("\nFinal leaderboard (mark-to-market):")
+    start_cash = config.initial_cash
+    for rank, (name, value) in enumerate(cluster.leaderboard(), start=1):
+        if name == "operator":
+            continue
+        index = int(name[1:])
+        role = roles.get(index, "zero-intelligence")
+        pnl = value - start_cash
+        print(f"  {rank:2d}. {name}  {role:18s} PnL ${pnl/100:+,.2f}")
+
+    m = cluster.metrics
+    print(
+        f"\n{m.orders_matched:.0f} orders, {m.trades_executed:.0f} trades, "
+        f"inbound unfairness {m.inbound_unfairness_ratio():.2%}, "
+        f"outbound unfairness {m.outbound_unfairness_ratio():.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""CloudEx reproduction: a fair-access financial exchange in the cloud.
+
+A from-scratch Python implementation of the system described in
+
+    Ghalayini et al., "CloudEx: A Fair-Access Financial Exchange in
+    the Cloud", HotOS '21.
+
+The package is layered:
+
+- :mod:`repro.sim` -- discrete-event substrate standing in for the
+  paper's Google Cloud testbed (VMs, clocks, links, CPU accounting).
+- :mod:`repro.clocksync` -- Huygens-style and NTP clock sync.
+- :mod:`repro.storage` -- Bigtable-like store + historical data API.
+- :mod:`repro.core` -- CloudEx itself: gateways, sequencer, matching
+  engine, hold/release buffers, DDP, ROS, sharding.
+- :mod:`repro.traders` -- strategies and workload generation.
+- :mod:`repro.analysis` -- statistics and table/figure rendering.
+
+Quickstart::
+
+    from repro import CloudExCluster, CloudExConfig
+
+    cluster = CloudExCluster(CloudExConfig(n_participants=8, n_gateways=4,
+                                           n_symbols=10, seed=7))
+    cluster.add_default_workload()
+    cluster.run(duration_s=2.0)
+    print(cluster.metrics.summary())
+"""
+
+from repro.core import CloudExCluster, CloudExConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["CloudExCluster", "CloudExConfig", "__version__"]

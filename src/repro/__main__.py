@@ -1,0 +1,78 @@
+"""Command-line demo: ``python -m repro``.
+
+Runs a small CloudEx deployment with the default zero-intelligence
+workload and prints the operator report.  Flags tune the interesting
+knobs; see ``python -m repro --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.report import summarize_run
+from repro.core.cluster import CloudExCluster
+from repro.core.config import CloudExConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a simulated CloudEx fair-access exchange and print a report.",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--participants", type=int, default=12)
+    parser.add_argument("--gateways", type=int, default=4)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--symbols", type=int, default=20)
+    parser.add_argument("--duration", type=float, default=2.0, metavar="SECONDS")
+    parser.add_argument("--rate", type=float, default=200.0, help="orders/s per participant")
+    parser.add_argument("--rf", type=int, default=1, help="ROS replication factor")
+    parser.add_argument("--ds", type=float, default=500.0, help="sequencer delay d_s (us)")
+    parser.add_argument("--dh", type=float, default=1000.0, help="hold/release delay d_h (us)")
+    parser.add_argument(
+        "--ddp",
+        type=float,
+        default=None,
+        metavar="TARGET",
+        help="enable DDP with this target unfairness ratio (e.g. 0.01)",
+    )
+    parser.add_argument(
+        "--clock-sync",
+        choices=["huygens", "ntp", "none", "perfect"],
+        default="huygens",
+    )
+    parser.add_argument(
+        "--matching",
+        choices=["continuous", "batch"],
+        default="continuous",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = CloudExConfig(
+        seed=args.seed,
+        n_participants=args.participants,
+        n_gateways=args.gateways,
+        n_shards=args.shards,
+        n_symbols=args.symbols,
+        replication_factor=args.rf,
+        sequencer_delay_us=args.ds,
+        holdrelease_delay_us=args.dh,
+        ddp_inbound_target=args.ddp,
+        ddp_outbound_target=args.ddp,
+        clock_sync=args.clock_sync,
+        matching_mode=args.matching,
+        orders_per_participant_per_s=args.rate,
+        subscriptions_per_participant=min(3, args.symbols),
+    )
+    cluster = CloudExCluster(config)
+    cluster.add_default_workload()
+    cluster.run(duration_s=args.duration)
+    print(summarize_run(cluster))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""ASCII rendering of a limit order book (paper Fig. 3).
+
+``render_book`` draws the bid and ask sides as horizontal volume bars
+around the spread -- the textbook visualization the paper uses to
+introduce limit order books.  Works on a live
+:class:`~repro.core.book.LimitOrderBook` or a disseminated
+:class:`~repro.core.marketdata.BookSnapshot`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.core.book import LimitOrderBook
+from repro.core.marketdata import BookSnapshot
+
+
+def _depth(source: Union[LimitOrderBook, BookSnapshot], levels: int):
+    if isinstance(source, LimitOrderBook):
+        bids, asks = source.depth_snapshot(max_levels=levels)
+    else:
+        bids, asks = source.bids[:levels], source.asks[:levels]
+    return bids, asks
+
+
+def render_book(
+    source: Union[LimitOrderBook, BookSnapshot],
+    levels: int = 5,
+    width: int = 40,
+    tick_divisor: int = 100,
+) -> str:
+    """Render the book as stacked volume bars, best prices adjacent.
+
+    Asks print top-down (worst to best), then the spread line, then
+    bids (best to worst) -- matching Fig. 3's left/right layout turned
+    vertical for a terminal.  ``tick_divisor`` converts ticks to the
+    displayed currency unit (100 ticks = $1.00 by default).
+    """
+    if levels < 1 or width < 1:
+        raise ValueError("levels and width must be positive")
+    bids, asks = _depth(source, levels)
+    max_volume = max(
+        [volume for _, volume in bids] + [volume for _, volume in asks] + [1]
+    )
+
+    def bar(volume: int) -> str:
+        filled = max(1, round(volume / max_volume * width)) if volume else 0
+        return "#" * filled
+
+    lines: List[str] = []
+    for price, volume in reversed(asks):
+        lines.append(f"  ask {price / tick_divisor:10.2f} |{bar(volume):<{width}}| {volume}")
+    if bids and asks:
+        spread = asks[0][0] - bids[0][0]
+        lines.append(f"  --- spread {spread / tick_divisor:.2f} ---")
+    elif not bids and not asks:
+        lines.append("  (empty book)")
+    for price, volume in bids:
+        lines.append(f"  bid {price / tick_divisor:10.2f} |{bar(volume):<{width}}| {volume}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""OHLCV candle aggregation over trade records.
+
+The paper's §7 positions CloudEx as "a market simulator for conducting
+research on exchange design"; candles are the lingua franca for
+analyzing the markets it produces.  ``candles_from_trades`` buckets a
+trade tape (e.g. from the historical-data API) into fixed intervals of
+open/high/low/close/volume/VWAP bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.marketdata import TradeRecord
+
+
+@dataclass(frozen=True)
+class Candle:
+    """One OHLCV bar."""
+
+    start_ns: int
+    end_ns: int
+    open: int
+    high: int
+    low: int
+    close: int
+    volume: int
+    notional: int
+
+    @property
+    def vwap(self) -> float:
+        """Volume-weighted average price over the bar."""
+        return self.notional / self.volume if self.volume else 0.0
+
+    @property
+    def is_up(self) -> bool:
+        return self.close >= self.open
+
+
+def candles_from_trades(
+    trades: Iterable[TradeRecord],
+    interval_ns: int,
+    fill_gaps: bool = False,
+) -> List[Candle]:
+    """Aggregate a time-ordered trade tape into fixed-width candles.
+
+    Parameters
+    ----------
+    trades:
+        Trades in non-decreasing ``executed_local`` order (as returned
+        by :meth:`repro.storage.query.HistoricalDataClient.trades`).
+    interval_ns:
+        Bar width; bars are aligned to multiples of it.
+    fill_gaps:
+        When True, empty intervals between bars are emitted as
+        zero-volume candles carrying the previous close.
+    """
+    if interval_ns <= 0:
+        raise ValueError(f"interval must be positive, got {interval_ns}")
+    candles: List[Candle] = []
+    current: Optional[dict] = None
+    last_time = None
+    for trade in trades:
+        if last_time is not None and trade.executed_local < last_time:
+            raise ValueError("trades must be in non-decreasing time order")
+        last_time = trade.executed_local
+        bucket = trade.executed_local // interval_ns * interval_ns
+        if current is not None and bucket != current["start"]:
+            candles.append(_close(current, interval_ns))
+            if fill_gaps:
+                candles.extend(
+                    _gap_candles(current["start"] + interval_ns, bucket, interval_ns, current["close"])
+                )
+            current = None
+        if current is None:
+            current = {
+                "start": bucket,
+                "open": trade.price,
+                "high": trade.price,
+                "low": trade.price,
+                "close": trade.price,
+                "volume": 0,
+                "notional": 0,
+            }
+        current["high"] = max(current["high"], trade.price)
+        current["low"] = min(current["low"], trade.price)
+        current["close"] = trade.price
+        current["volume"] += trade.quantity
+        current["notional"] += trade.price * trade.quantity
+    if current is not None:
+        candles.append(_close(current, interval_ns))
+    return candles
+
+
+def _close(state: dict, interval_ns: int) -> Candle:
+    return Candle(
+        start_ns=state["start"],
+        end_ns=state["start"] + interval_ns,
+        open=state["open"],
+        high=state["high"],
+        low=state["low"],
+        close=state["close"],
+        volume=state["volume"],
+        notional=state["notional"],
+    )
+
+
+def _gap_candles(start: int, end: int, interval_ns: int, close: int) -> List[Candle]:
+    return [
+        Candle(
+            start_ns=t,
+            end_ns=t + interval_ns,
+            open=close,
+            high=close,
+            low=close,
+            close=close,
+            volume=0,
+            notional=0,
+        )
+        for t in range(start, end, interval_ns)
+    ]

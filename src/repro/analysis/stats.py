@@ -1,0 +1,48 @@
+"""Statistics helpers used by metrics, benchmarks, and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.sim.timeunits import MICROSECOND
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (q in [0, 100])."""
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+def trimmed_mean(samples: Sequence[float], trim_fraction: float = 0.01) -> float:
+    """Mean after dropping the top/bottom ``trim_fraction`` of samples.
+
+    Useful for latency series with a handful of warm-up outliers.
+    """
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError(f"trim fraction must be in [0, 0.5), got {trim_fraction}")
+    array = np.sort(np.asarray(samples, dtype=np.float64))
+    k = int(len(array) * trim_fraction)
+    trimmed = array[k : len(array) - k] if k > 0 else array
+    return float(trimmed.mean())
+
+
+def describe_ns(samples_ns: Sequence[int]) -> Dict[str, float]:
+    """Summary of a nanosecond latency series, reported in microseconds."""
+    if len(samples_ns) == 0:
+        raise ValueError("no samples")
+    array = np.asarray(samples_ns, dtype=np.float64) / MICROSECOND
+    return {
+        "count": float(array.size),
+        "mean_us": float(array.mean()),
+        "p50_us": float(np.percentile(array, 50)),
+        "p90_us": float(np.percentile(array, 90)),
+        "p99_us": float(np.percentile(array, 99)),
+        "p999_us": float(np.percentile(array, 99.9)),
+        "max_us": float(array.max()),
+    }

@@ -1,0 +1,44 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep that output aligned and consistent without pulling in a plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], [30, 4]]))
+    a   b
+    --  ---
+    1   2.5
+    30  4
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {len(headers)}")
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    header_line = "  ".join(cell.ljust(width) for cell, width in zip(cells[0], widths))
+    lines.append(header_line.rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, points: Sequence[Tuple[object, object]], x_label: str, y_label: str
+) -> str:
+    """Render a figure's (x, y) series as labeled text."""
+    lines = [f"# {title}", f"# {x_label} -> {y_label}"]
+    for x, y in points:
+        lines.append(f"{x}\t{y}")
+    return "\n".join(lines)

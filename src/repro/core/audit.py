@@ -1,0 +1,134 @@
+"""Order-event audit trail (paper §6, Regulation).
+
+Regulated exchanges must be able to reconstruct the complete lifecycle
+of every order for surveillance (e.g. the SEC's Consolidated Audit
+Trail).  CloudEx's fair-access design makes this *stronger* than usual:
+because every event carries a synchronized timestamp, the audit trail
+is globally ordered across gateways without per-venue clock fudge.
+
+:class:`AuditTrail` persists one row per order event into the Bigtable
+substrate and reconstructs lifecycles by prefix scan.  Event rows are
+keyed ``audit#<participant>#<order id>#<seq>`` so one order's events
+read back in emission order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.storage.bigtable import Bigtable
+
+AUDIT_FAMILY = "audit"
+
+#: Event kinds, in canonical lifecycle order.
+SUBMITTED = "submitted"
+STAMPED = "stamped"
+SEQUENCED = "sequenced"
+EXECUTED = "executed"
+ACCEPTED = "accepted"
+CANCELLED = "cancelled"
+REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One recorded step of an order's lifecycle."""
+
+    participant_id: str
+    client_order_id: int
+    kind: str
+    timestamp_ns: int
+    detail: str = ""
+
+    def to_values(self) -> dict:
+        return {
+            "kind": self.kind.encode(),
+            "timestamp": str(self.timestamp_ns).encode(),
+            "detail": self.detail.encode(),
+        }
+
+
+class AuditTrail:
+    """Append-only order-event log over a Bigtable."""
+
+    def __init__(self, table: Optional[Bigtable] = None) -> None:
+        self.table = table if table is not None else Bigtable("audit", (AUDIT_FAMILY,))
+        if AUDIT_FAMILY not in self.table.families:
+            self.table.create_family(AUDIT_FAMILY)
+        self._seq = itertools.count(1)
+        self.events_recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _row_key(self, participant_id: str, client_order_id: int, seq: int) -> str:
+        return f"audit#{participant_id}#{client_order_id:012d}#{seq:012d}"
+
+    def record(self, event: AuditEvent) -> str:
+        """Persist one event; returns its row key."""
+        seq = next(self._seq)
+        key = self._row_key(event.participant_id, event.client_order_id, seq)
+        self.table.write_row(key, AUDIT_FAMILY, event.to_values(), event.timestamp_ns)
+        self.events_recorded += 1
+        return key
+
+    # ------------------------------------------------------------------
+    # Reconstruction
+    # ------------------------------------------------------------------
+    def events_for_order(self, participant_id: str, client_order_id: int) -> List[AuditEvent]:
+        """All recorded events of one order, in emission order."""
+        prefix = f"audit#{participant_id}#{client_order_id:012d}#"
+        events = []
+        for _, row in self.table.prefix_scan(prefix):
+            events.append(
+                AuditEvent(
+                    participant_id=participant_id,
+                    client_order_id=client_order_id,
+                    kind=row[(AUDIT_FAMILY, "kind")][0].value.decode(),
+                    timestamp_ns=int(row[(AUDIT_FAMILY, "timestamp")][0].value),
+                    detail=row[(AUDIT_FAMILY, "detail")][0].value.decode(),
+                )
+            )
+        return events
+
+    def events_for_participant(self, participant_id: str) -> List[AuditEvent]:
+        """Every event of every order of one participant."""
+        events = []
+        for key, row in self.table.prefix_scan(f"audit#{participant_id}#"):
+            client_order_id = int(key.split("#")[2])
+            events.append(
+                AuditEvent(
+                    participant_id=participant_id,
+                    client_order_id=client_order_id,
+                    kind=row[(AUDIT_FAMILY, "kind")][0].value.decode(),
+                    timestamp_ns=int(row[(AUDIT_FAMILY, "timestamp")][0].value),
+                    detail=row[(AUDIT_FAMILY, "detail")][0].value.decode(),
+                )
+            )
+        return events
+
+    def lifecycle_is_wellformed(self, participant_id: str, client_order_id: int) -> bool:
+        """Surveillance check: the event sequence obeys the lifecycle
+        state machine (stamped before sequenced before executed, no
+        events after a terminal reject, timestamps non-decreasing)."""
+        events = self.events_for_order(participant_id, client_order_id)
+        if not events:
+            return False
+        order_of = {SUBMITTED: 0, STAMPED: 1, SEQUENCED: 2, ACCEPTED: 3,
+                    EXECUTED: 3, CANCELLED: 4, REJECTED: 4}
+        ranks = [order_of.get(e.kind, -1) for e in events]
+        if -1 in ranks:
+            return False
+        # Non-decreasing phase rank except EXECUTED may repeat.
+        last = -1
+        for rank, event in zip(ranks, events):
+            if rank < last and event.kind != EXECUTED:
+                return False
+            last = max(last, rank)
+        times = [e.timestamp_ns for e in events]
+        return times == sorted(times)
+
+    def __repr__(self) -> str:
+        return f"AuditTrail(events={self.events_recorded})"

@@ -1,0 +1,57 @@
+"""Participant authentication at the gateways.
+
+Paper §2.1: "Gateways are also required to secure the matching engine
+from abuse, e.g., unauthenticated or invalid orders.  The order handler
+authenticates and validates orders received from the participants."
+
+Tokens are opaque shared secrets registered with the exchange operator
+out of band (in the cluster builder).  Real deployments would use TLS
+client certs or cloud IAM; a shared-secret table exercises the same
+accept/reject code path in the gateway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+
+class AuthRegistry:
+    """Shared-secret credential table consulted by gateway order handlers."""
+
+    def __init__(self) -> None:
+        self._tokens: Dict[str, str] = {}
+
+    def register(self, participant_id: str, token: str) -> None:
+        """Enroll (or rotate) a participant's credential."""
+        if not token:
+            raise ValueError("token must be non-empty")
+        self._tokens[participant_id] = token
+
+    def revoke(self, participant_id: str) -> bool:
+        """Remove a participant's credential; True if one existed."""
+        return self._tokens.pop(participant_id, None) is not None
+
+    def verify(self, participant_id: str, token: str) -> bool:
+        """Constant-time credential check."""
+        expected = self._tokens.get(participant_id)
+        if expected is None:
+            return False
+        return hmac.compare_digest(expected, token)
+
+    def is_known(self, participant_id: str) -> bool:
+        return participant_id in self._tokens
+
+    @staticmethod
+    def mint_token(participant_id: str, operator_secret: str) -> str:
+        """Derive a participant token from the operator's secret --
+        lets the cluster builder issue credentials deterministically."""
+        mac = hmac.new(operator_secret.encode(), participant_id.encode(), hashlib.sha256)
+        return mac.hexdigest()
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:
+        return f"AuthRegistry(participants={len(self._tokens)})"

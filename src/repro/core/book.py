@@ -1,0 +1,252 @@
+"""The limit order book (paper Fig. 3).
+
+One book per symbol.  Bids are kept best-first by *descending* price,
+asks by *ascending* price; within a price level, resting orders are
+ordered by their gateway timestamps (the paper's tie-break rule), not
+by arrival at the book -- the two differ exactly when inbound
+unfairness lets a later-stamped order reach the engine first.
+
+Implementation notes
+--------------------
+Price levels live in a dict keyed by price with a lazy heap of prices
+for best-price lookup: O(1) amortized best, O(log n) insert, and
+cancellation without heap surgery (emptied levels are skipped when
+popped).  Within a level, orders are a list kept sorted by
+``Order.priority_key()`` with an O(1) append fast path for the common
+in-order case.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.order import Order
+from repro.core.types import Price, Quantity, Side, Symbol
+
+
+class PriceLevel:
+    """All resting orders at one price, in gateway-timestamp priority."""
+
+    __slots__ = ("price", "orders", "total_quantity", "_keys")
+
+    def __init__(self, price: Price) -> None:
+        self.price = price
+        self.orders: List[Order] = []
+        self._keys: List[tuple] = []
+        self.total_quantity: Quantity = 0
+
+    def add(self, order: Order) -> None:
+        """Insert in timestamp-priority position (append fast path)."""
+        key = order.priority_key()
+        if not self._keys or key >= self._keys[-1]:
+            self.orders.append(order)
+            self._keys.append(key)
+        else:
+            index = bisect.bisect_right(self._keys, key)
+            self.orders.insert(index, order)
+            self._keys.insert(index, key)
+        self.total_quantity += order.remaining
+
+    def remove(self, order: Order) -> None:
+        """Remove a specific resting order (cancellation path)."""
+        index = self.orders.index(order)
+        del self.orders[index]
+        del self._keys[index]
+        self.total_quantity -= order.remaining
+
+    def pop_front(self) -> Order:
+        """Remove and return the highest-priority resting order."""
+        order = self.orders.pop(0)
+        self._keys.pop(0)
+        self.total_quantity -= order.remaining
+        return order
+
+    def front(self) -> Order:
+        """The highest-priority resting order (not removed)."""
+        return self.orders[0]
+
+    def reduce(self, quantity: Quantity) -> None:
+        """Account a partial fill of the front order."""
+        self.total_quantity -= quantity
+
+    @property
+    def empty(self) -> bool:
+        return not self.orders
+
+    def __len__(self) -> int:
+        return len(self.orders)
+
+    def __repr__(self) -> str:
+        return f"PriceLevel(price={self.price}, orders={len(self.orders)}, qty={self.total_quantity})"
+
+
+class BookSide:
+    """One side of the book: levels plus a lazy best-price heap."""
+
+    def __init__(self, side: Side) -> None:
+        self.side = side
+        self._levels: Dict[Price, PriceLevel] = {}
+        # Min-heap; bids are stored negated so the best price pops first.
+        self._heap: List[Price] = []
+
+    def _heap_key(self, price: Price) -> int:
+        return -price if self.side is Side.BUY else price
+
+    def _price_from_key(self, key: int) -> Price:
+        return -key if self.side is Side.BUY else key
+
+    def add(self, order: Order) -> None:
+        """Rest ``order`` on this side at its limit price."""
+        if order.limit_price is None:
+            raise ValueError(f"cannot rest an order without a limit price: {order!r}")
+        price = order.limit_price
+        level = self._levels.get(price)
+        if level is None:
+            level = PriceLevel(price)
+            self._levels[price] = level
+            heapq.heappush(self._heap, self._heap_key(price))
+        level.add(order)
+
+    def best_level(self) -> Optional[PriceLevel]:
+        """The best-priced non-empty level, or None."""
+        while self._heap:
+            price = self._price_from_key(self._heap[0])
+            level = self._levels.get(price)
+            if level is not None and not level.empty:
+                return level
+            heapq.heappop(self._heap)
+            if level is not None:
+                del self._levels[price]
+        return None
+
+    def best_price(self) -> Optional[Price]:
+        """The best price on this side, or None when empty."""
+        level = self.best_level()
+        return None if level is None else level.price
+
+    def level_at(self, price: Price) -> Optional[PriceLevel]:
+        level = self._levels.get(price)
+        if level is None or level.empty:
+            return None
+        return level
+
+    def remove(self, order: Order) -> None:
+        """Remove a resting order (cancel); empty levels clean up lazily."""
+        if order.limit_price is None:
+            raise ValueError(f"resting order without limit price: {order!r}")
+        level = self._levels.get(order.limit_price)
+        if level is None:
+            raise KeyError(f"no level at {order.limit_price} for {order!r}")
+        level.remove(order)
+
+    def depth(self, max_levels: int) -> Tuple[Tuple[Price, Quantity], ...]:
+        """Best-first (price, total volume) pairs, up to ``max_levels``."""
+        populated = sorted(
+            (level for level in self._levels.values() if not level.empty),
+            key=lambda lv: self._heap_key(lv.price),
+        )
+        return tuple((lv.price, lv.total_quantity) for lv in populated[:max_levels])
+
+    def total_volume(self) -> Quantity:
+        """Sum of resting volume on this side."""
+        return sum(level.total_quantity for level in self._levels.values())
+
+    def order_count(self) -> int:
+        """Number of resting orders on this side."""
+        return sum(len(level) for level in self._levels.values())
+
+    def __repr__(self) -> str:
+        return f"BookSide({self.side}, levels={len(self._levels)})"
+
+
+class LimitOrderBook:
+    """The full two-sided book for one symbol."""
+
+    def __init__(self, symbol: Symbol) -> None:
+        self.symbol = symbol
+        self.bids = BookSide(Side.BUY)
+        self.asks = BookSide(Side.SELL)
+        # (participant_id, client_order_id) -> resting Order, for cancels.
+        self._resting: Dict[Tuple[str, int], Order] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def side(self, side: Side) -> BookSide:
+        return self.bids if side is Side.BUY else self.asks
+
+    def add_resting(self, order: Order) -> None:
+        """Rest an unmatched (remainder of a) limit order."""
+        key = (order.participant_id, order.client_order_id)
+        if key in self._resting:
+            raise ValueError(f"order {key} is already resting in {self.symbol}")
+        self.side(order.side).add(order)
+        self._resting[key] = order
+
+    def cancel(self, participant_id: str, client_order_id: int) -> Optional[Order]:
+        """Remove and return a resting order; None if not resting."""
+        key = (participant_id, client_order_id)
+        order = self._resting.pop(key, None)
+        if order is None:
+            return None
+        self.side(order.side).remove(order)
+        return order
+
+    def is_resting(self, participant_id: str, client_order_id: int) -> bool:
+        """Whether the participant's order currently rests in this book."""
+        return (participant_id, client_order_id) in self._resting
+
+    def forget(self, order: Order) -> None:
+        """Drop a fully-filled front order from the cancel index.
+
+        The matching engine pops filled orders from levels directly;
+        this keeps the cancel index consistent.
+        """
+        self._resting.pop((order.participant_id, order.client_order_id), None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def best_bid(self) -> Optional[Price]:
+        return self.bids.best_price()
+
+    def best_ask(self) -> Optional[Price]:
+        return self.asks.best_price()
+
+    def spread(self) -> Optional[int]:
+        """Bid-ask spread, None when either side is empty."""
+        bid, ask = self.best_bid(), self.best_ask()
+        if bid is None or ask is None:
+            return None
+        return ask - bid
+
+    def crosses(self, side: Side, limit_price: Optional[Price]) -> bool:
+        """Would an incoming order on ``side`` at ``limit_price`` match now?
+
+        ``limit_price=None`` (a market order) crosses whenever the
+        opposite side is non-empty.
+        """
+        opposite_best = self.side(side.opposite).best_price()
+        if opposite_best is None:
+            return False
+        if limit_price is None:
+            return True
+        if side is Side.BUY:
+            return limit_price >= opposite_best
+        return limit_price <= opposite_best
+
+    def depth_snapshot(self, max_levels: int = 5) -> Tuple[tuple, tuple]:
+        """(bids, asks) depth for snapshot dissemination."""
+        return self.bids.depth(max_levels), self.asks.depth(max_levels)
+
+    def resting_count(self) -> int:
+        """Number of resting orders across both sides."""
+        return len(self._resting)
+
+    def __repr__(self) -> str:
+        return (
+            f"LimitOrderBook({self.symbol!r}, bid={self.best_bid()}, "
+            f"ask={self.best_ask()}, resting={len(self._resting)})"
+        )

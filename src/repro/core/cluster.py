@@ -1,0 +1,456 @@
+"""Build and run a whole CloudEx deployment on the simulator.
+
+:class:`CloudExCluster` is the top-level entry point: it constructs the
+simulated GCP testbed of paper §4 (participant VMs, gateway VMs, the
+engine VM, links with cloud-like latency), the CloudEx software on top
+(gateways, central exchange server, clock synchronization, storage),
+seeds the books, and optionally attaches a default zero-intelligence
+workload.  Everything is deterministic in ``config.seed``.
+
+Typical use::
+
+    from repro import CloudExCluster, CloudExConfig
+
+    cluster = CloudExCluster(CloudExConfig(n_participants=8, n_gateways=4,
+                                           n_symbols=10, seed=7))
+    cluster.add_default_workload()
+    cluster.run(duration_s=2.0)
+    print(cluster.metrics.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.clocksync.huygens import HuygensEstimator
+from repro.clocksync.ntp import NtpEstimator
+from repro.clocksync.service import ClockSyncService
+from repro.core.auth import AuthRegistry
+from repro.core.config import CloudExConfig
+from repro.core.exchange import CentralExchangeServer
+from repro.core.gateway import Gateway
+from repro.core.metrics import MetricsCollector
+from repro.core.order import ClientOrderIdAllocator, Order
+from repro.core.participant import Participant
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.sharding import SymbolRouter
+from repro.core.types import OrderType, Side
+from repro.sim.engine import Simulator
+from repro.sim.latency import (
+    GammaLatency,
+    LatencyModel,
+    PeriodicInjectedDelay,
+    StragglerLatency,
+    cloud_link,
+)
+from repro.sim.network import Host, Network
+from repro.sim.rng import RngRegistry
+from repro.sim.timeunits import MICROSECOND, SECOND
+from repro.storage.bigtable import Bigtable
+from repro.storage.query import HistoricalDataClient
+from repro.storage.records import (
+    BOOK_SNAPSHOT_FAMILY,
+    TRADE_FAMILY,
+    write_snapshot,
+    write_trade,
+)
+from repro.traders.workload import attach_agents, split_symbols
+from repro.traders.zi import ZeroIntelligenceStrategy
+
+ENGINE = "engine"
+OPERATOR = "operator"
+_OPERATOR_SECRET = "cloudex-operator-secret"
+
+
+def gateway_name(index: int) -> str:
+    return f"g{index:02d}"
+
+
+def participant_name(index: int) -> str:
+    return f"p{index:02d}"
+
+
+class CloudExCluster:
+    """A fully wired CloudEx deployment."""
+
+    def __init__(self, config: CloudExConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.network = Network(self.sim, self.rngs)
+        self.metrics = MetricsCollector()
+        self.auth = AuthRegistry()
+        self.portfolio = PortfolioMatrix(default_cash=config.initial_cash)
+        self.router = SymbolRouter(config.symbols, config.n_shards)
+        self.id_allocator = ClientOrderIdAllocator()
+
+        self.trade_table = Bigtable("market-data", (TRADE_FAMILY, BOOK_SNAPSHOT_FAMILY))
+        self.history = HistoricalDataClient(self.trade_table)
+
+        self._build_hosts()
+        self._build_links()
+        self._build_actors()
+        self._build_clock_sync()
+        self._seed_books()
+        self.agents: List = []
+        self._ran_ns = 0
+        self._cpu_window_start = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _clock_params(self, name: str) -> Dict[str, int]:
+        if self.config.clock_sync == "perfect":
+            return {"drift_ppb": 0, "offset_ns": 0}
+        rng = self.rngs.stream(f"clock:{name}")
+        max_drift = self.config.clock_drift_ppb_max
+        max_offset = int(self.config.clock_offset_ms_max * 1_000_000)
+        return {
+            "drift_ppb": int(rng.integers(-max_drift, max_drift + 1)),
+            "offset_ns": int(rng.integers(-max_offset, max_offset + 1)),
+        }
+
+    def _build_hosts(self) -> None:
+        config = self.config
+        # The engine clock is the time reference (zero error by
+        # construction); gateways are disciplined against it.
+        self.engine_host = self.network.add_host(
+            ENGINE, drift_ppb=0, offset_ns=0, baseline_cores=config.engine_cpu_baseline_cores
+        )
+        self.gateway_hosts: List[Host] = [
+            self.network.add_host(
+                gateway_name(i),
+                baseline_cores=config.gateway_cpu_baseline_cores,
+                **self._clock_params(gateway_name(i)),
+            )
+            for i in range(config.n_gateways)
+        ]
+        self.participant_hosts: List[Host] = [
+            self.network.add_host(
+                participant_name(i),
+                baseline_cores=config.participant_cpu_baseline_cores,
+                **self._clock_params(participant_name(i)),
+            )
+            for i in range(config.n_participants)
+        ]
+
+    def _pg_model(self) -> LatencyModel:
+        config = self.config
+        return cloud_link(
+            config.participant_gateway_base_us,
+            config.participant_gateway_jitter_shape,
+            config.participant_gateway_jitter_scale_us,
+            config.spike_prob,
+            config.spike_scale,
+        )
+
+    def _ge_model(self, inject: bool) -> LatencyModel:
+        config = self.config
+        model = cloud_link(
+            config.gateway_engine_base_us,
+            config.gateway_engine_jitter_shape,
+            config.gateway_engine_jitter_scale_us,
+            config.spike_prob,
+            config.spike_scale,
+        )
+        if inject and config.injected_delay_phases_us is not None:
+            phases = [int(us * MICROSECOND) for us in config.injected_delay_phases_us]
+            model = PeriodicInjectedDelay(model, phases, config.injected_phase_ns)
+        return model
+
+    def is_straggler(self, gateway_index: int) -> bool:
+        """The last ``straggler_gateways`` gateways are the slow VMs."""
+        return gateway_index >= self.config.n_gateways - self.config.straggler_gateways
+
+    def _maybe_straggle(self, model: LatencyModel, gateway_index: int) -> LatencyModel:
+        if self.is_straggler(gateway_index):
+            return StragglerLatency(model, self.config.straggler_multiplier)
+        return model
+
+    def replica_gateways(self, participant_index: int) -> List[str]:
+        """The ordered gateway set for one participant (primary first).
+
+        The list always has ``n_gateways``-capped length ``max(rf, 1)``
+        plus headroom: we wire links for up to the configured
+        replication factor.
+        """
+        config = self.config
+        primary = participant_index % config.n_gateways
+        count = config.replication_factor
+        return [gateway_name((primary + k) % config.n_gateways) for k in range(count)]
+
+    def _build_links(self) -> None:
+        config = self.config
+        n_injected = 0
+        if config.injected_delay_phases_us is not None:
+            n_injected = max(1, round(config.injected_gateway_fraction * config.n_gateways))
+        for index, host in enumerate(self.gateway_hosts):
+            # Paper Fig. 5 injects artificial delay on the gateway ->
+            # engine direction (first n_injected gateways); stragglers
+            # are slow in both directions.
+            inject = index < n_injected
+            to_engine = self._maybe_straggle(self._ge_model(inject), index)
+            from_engine = self._maybe_straggle(self._ge_model(False), index)
+            self.network.connect(host.name, ENGINE, to_engine)
+            self.network.connect(ENGINE, host.name, from_engine)
+        for p_index in range(config.n_participants):
+            pname = participant_name(p_index)
+            for gname in self.replica_gateways(p_index):
+                g_index = int(gname[1:])
+                self.network.connect(pname, gname, self._maybe_straggle(self._pg_model(), g_index))
+                self.network.connect(gname, pname, self._maybe_straggle(self._pg_model(), g_index))
+
+    # ------------------------------------------------------------------
+    # Software
+    # ------------------------------------------------------------------
+    def _build_actors(self) -> None:
+        config = self.config
+        trade_sink = None
+        snapshot_sink = None
+        if config.persist_trades:
+            trade_sink = lambda trade, now_local: write_trade(self.trade_table, trade, now_local)
+        if config.persist_snapshots:
+            snapshot_sink = lambda snap, now_local: write_snapshot(self.trade_table, snap, now_local)
+
+        self.exchange = CentralExchangeServer(
+            sim=self.sim,
+            network=self.network,
+            host=self.engine_host,
+            config=config,
+            router=self.router,
+            portfolio=self.portfolio,
+            metrics=self.metrics,
+            gateway_names=[host.name for host in self.gateway_hosts],
+            trade_sink=trade_sink,
+            snapshot_sink=snapshot_sink,
+        )
+        self.gateways: List[Gateway] = [
+            Gateway(
+                sim=self.sim,
+                network=self.network,
+                host=host,
+                engine_name=ENGINE,
+                auth=self.auth,
+                config=config,
+            )
+            for host in self.gateway_hosts
+        ]
+
+        self.portfolio.open_account(OPERATOR)
+        self.participants: List[Participant] = []
+        for index, host in enumerate(self.participant_hosts):
+            token = AuthRegistry.mint_token(host.name, _OPERATOR_SECRET)
+            self.auth.register(host.name, token)
+            self.portfolio.open_account(host.name)
+            gateways = self.replica_gateways(index)
+            participant = Participant(
+                sim=self.sim,
+                network=self.network,
+                host=host,
+                gateways=gateways,
+                auth_token=token,
+                config=config,
+                metrics=self.metrics,
+                id_allocator=self.id_allocator,
+                history_client=self.history,
+            )
+            self.exchange.register_participant(host.name, gateways[0])
+            self.participants.append(participant)
+
+    def _build_clock_sync(self) -> None:
+        config = self.config
+        self.clock_sync: Optional[ClockSyncService] = None
+        if config.clock_sync in ("perfect", "none"):
+            return
+        if config.clock_sync == "huygens":
+            estimator = HuygensEstimator()
+            path_override = None
+            # With the simulator's temporally-uncorrelated jitter, the
+            # coded-probe filter keeps a biased subset and *blunts* the
+            # minimum envelope (queueing only ever adds delay here, so
+            # queued samples cannot fake a lower bound).  See
+            # tests/clocksync for the filter exercised on its own.
+            use_coded_filter = False
+        else:  # ntp
+            estimator = NtpEstimator()
+            # NTP syncs against a server several variable hops away; the
+            # forward and reverse paths are asymmetric at the ms scale,
+            # which is exactly why its offsets are ~10 ms (paper fn. 3).
+            path_override = (
+                GammaLatency(2_000_000, 2.0, 2_000_000),
+                GammaLatency(2_000_000, 2.0, 12_000_000),
+            )
+            use_coded_filter = False
+        mesh_latency = None
+        if config.sync_use_mesh and config.clock_sync == "huygens":
+            # Gateway<->gateway probe paths: same fabric, slightly
+            # shorter than the gateway<->engine hop.
+            mesh_latency = cloud_link(
+                config.gateway_engine_base_us * 0.8,
+                config.gateway_engine_jitter_shape,
+                config.gateway_engine_jitter_scale_us * 0.8,
+                config.spike_prob,
+                config.spike_scale,
+            )
+        self.clock_sync = ClockSyncService(
+            sim=self.sim,
+            network=self.network,
+            reference=self.engine_host,
+            clients=self.gateway_hosts,
+            rngs=self.rngs,
+            estimator=estimator,
+            probe_interval_ns=config.probe_interval_ns,
+            sync_interval_ns=config.sync_interval_ns,
+            path_override=path_override,
+            use_coded_filter=use_coded_filter,
+            use_mesh=config.sync_use_mesh and config.clock_sync == "huygens",
+            mesh_latency=mesh_latency,
+        )
+
+    def _seed_books(self) -> None:
+        """Pre-populate every book with operator liquidity.
+
+        Gives every symbol a two-sided market around ``initial_price``
+        before trading starts, exactly like the exchange operator's
+        opening auction would.  Applied directly to the shard cores at
+        t=0, before any network traffic.
+        """
+        config = self.config
+        seq = 0
+        for symbol in config.symbols:
+            shard = self.exchange.shards[self.router.shard_of(symbol)]
+            for level in range(config.initial_book_depth):
+                for side, price in (
+                    (Side.BUY, config.initial_price - 1 - level),
+                    (Side.SELL, config.initial_price + 1 + level),
+                ):
+                    seq += 1
+                    order = Order(
+                        client_order_id=self.id_allocator.next_id(),
+                        participant_id=OPERATOR,
+                        symbol=symbol,
+                        side=side,
+                        order_type=OrderType.LIMIT,
+                        quantity=config.initial_book_qty,
+                        limit_price=price,
+                        gateway_id="seed",
+                        gateway_timestamp=0,
+                        gateway_seq=seq,
+                        stamped_true=0,
+                    )
+                    if self.config.matching_mode == "batch":
+                        shard.core.add_order(order)
+                    else:
+                        result = shard.core.process_order(order, now_local=0)
+                        if result.trades:
+                            raise AssertionError(
+                                f"book seeding must not self-cross (symbol {symbol})"
+                            )
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def add_default_workload(
+        self,
+        rate_per_participant: Optional[float] = None,
+        strategy_factory=None,
+    ) -> None:
+        """Attach the paper's default flow: ZI traders at ~450 orders/s."""
+        config = self.config
+        assignments = split_symbols(
+            config.symbols,
+            config.n_participants,
+            config.subscriptions_per_participant or 1,
+            self.rngs,
+        )
+        if strategy_factory is None:
+
+            def strategy_factory(index: int, symbols: Sequence[str]):
+                return ZeroIntelligenceStrategy(
+                    symbols=symbols,
+                    fallback_price=config.initial_price,
+                    market_order_fraction=config.market_order_fraction,
+                    cancel_fraction=config.cancel_fraction,
+                )
+
+        self.agents = attach_agents(
+            sim=self.sim,
+            rngs=self.rngs,
+            participants=self.participants,
+            strategy_factory=strategy_factory,
+            symbol_assignments=assignments,
+            rate_per_s=rate_per_participant or config.orders_per_participant_per_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, duration_s: float) -> None:
+        """Run the cluster for ``duration_s`` of simulated time.
+
+        May be called repeatedly to extend the run.  On the first call,
+        clock sync is warm-started (the paper's experiments begin after
+        hours of Huygens convergence) and periodic services start.
+        """
+        if self._ran_ns == 0:
+            if self.clock_sync is not None:
+                self.clock_sync.warm_start(rounds=self.config.sync_warm_start_rounds)
+                self.clock_sync.start()
+            self.exchange.start()
+            self.metrics.measure_start_true = self.sim.now
+        until = self._ran_ns + int(duration_s * SECOND)
+        self.sim.run(until=until)
+        self._ran_ns = until
+        self.metrics.measure_end_true = self.sim.now
+
+    def reset_metrics(self) -> None:
+        """Discard everything measured so far and start a fresh window.
+
+        Benchmarks call this after a warm-up run so reported ratios and
+        CPU usage reflect steady state (DDP converged, queues primed)
+        rather than the cold-start transient.
+        """
+        self.metrics.reset_window(self.sim.now)
+        self._cpu_window_start = self._ran_ns
+        for host in self.network.hosts.values():
+            host.cpu.reset()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def duration_ns(self) -> int:
+        """Simulated time covered by run() calls so far."""
+        return self._ran_ns
+
+    def cpu_report(self) -> Dict[str, float]:
+        """Average cores per VM type over the measurement window (Fig. 6b)."""
+        elapsed = max(self._ran_ns - self._cpu_window_start, 1)
+        gateway_cores = [h.cpu.cores_used(elapsed) for h in self.gateway_hosts]
+        participant_cores = [h.cpu.cores_used(elapsed) for h in self.participant_hosts]
+        return {
+            "engine_cores": self.engine_host.cpu.cores_used(elapsed),
+            "gateway_cores": sum(gateway_cores) / len(gateway_cores),
+            "participant_cores": sum(participant_cores) / len(participant_cores),
+        }
+
+    def leaderboard(self) -> List:
+        """Participants ranked by marked-to-market account value."""
+        prices = {}
+        for shard in self.exchange.shards:
+            for symbol in shard.core.books:
+                reference = shard.core.reference_price(symbol)
+                if reference is not None:
+                    prices[symbol] = reference
+        return self.portfolio.leaderboard(prices)
+
+    def participant(self, index: int) -> Participant:
+        return self.participants[index]
+
+    def gateway(self, index: int) -> Gateway:
+        return self.gateways[index]
+
+    def __repr__(self) -> str:
+        return (
+            f"CloudExCluster(participants={len(self.participants)}, "
+            f"gateways={len(self.gateways)}, shards={len(self.exchange.shards)})"
+        )

@@ -1,0 +1,300 @@
+"""CloudEx cluster configuration.
+
+One :class:`CloudExConfig` describes a whole deployment: topology,
+fairness delays, DDP targets, ROS replication, network latency models,
+clock behaviour, the engine's service-time model, and CPU accounting
+constants.  Defaults reproduce the paper's testbed shape (48
+participants, 16 gateways, 100 symbols, ~22k orders/s aggregate).
+
+Calibration notes (see DESIGN.md §3)
+------------------------------------
+- *Network*: each link is a hard floor + gamma jitter + rare spikes
+  (participant<->gateway 115 us + gamma(0.7, 33 us); gateway<->engine
+  178 us + gamma(0.7, 92 us); spikes p=0.003 x<=11).  The composed
+  submission path measures ~370 / ~705 / ~990 us at p50/p99/p99.9 vs
+  the paper's 365 / 678 / 1096 (Fig. 6a, RF=1).
+- *Engine service model*: 8 us ingress per replica on one ingress core
+  (dedup work -- its queue heating up past RF=3 at 22k orders/s is
+  Fig. 6a's degradation), 29 us mean book work per order within a
+  shard (gamma, CV 0.8), 16.4 us mean in the global portfolio critical
+  section (caps aggregate throughput at ~61k orders/s; measured Table 1
+  curve 22k/41k/59k/61k/61k vs paper 22k/40k/49k/61k/61k).
+- *CPU accounting* (Fig. 6b): VM-level core usage is dominated by
+  messaging/polling overheads, so accounted per-message costs are much
+  larger than critical-path service times.  Engine: 529 us/order +
+  61 us/replica.  Gateway: baseline 2.05 cores + 254 us/replica.
+  Participant: baseline 0.3 cores + 222 us/replica.  Measured across
+  RF = 1..5: engine 12.8 -> 18.1 cores (paper 13.0 -> 18.4), gateway
+  2.39 -> 3.77 (2.4 -> 3.8), participant 0.40 -> 0.80 (0.4 -> 0.8).
+- *Clocks*: drift up to +-50 ppm, boot offsets up to +-5 ms; Huygens
+  sync at 1 Hz with 100 probe pairs/s yields ~50 ns median / ~250 ns
+  p99 residual (paper: 159 ns p99); NTP through a distant asymmetric
+  path yields ~10 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
+
+
+def default_symbols(count: int) -> List[str]:
+    """SYM000, SYM001, ... -- deterministic symbol universe."""
+    if count < 1:
+        raise ValueError(f"need at least one symbol, got {count}")
+    return [f"SYM{index:03d}" for index in range(count)]
+
+
+@dataclass
+class CloudExConfig:
+    """Everything needed to build a :class:`repro.core.cluster.CloudExCluster`."""
+
+    # ------------------------------------------------------------------
+    # Reproducibility
+    # ------------------------------------------------------------------
+    seed: int = 1
+
+    # ------------------------------------------------------------------
+    # Topology (paper §4: 48 participants, 16 gateways, 1 engine VM)
+    # ------------------------------------------------------------------
+    n_participants: int = 48
+    n_gateways: int = 16
+    n_shards: int = 1
+    n_symbols: int = 100
+    symbols: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------
+    # Accounts
+    # ------------------------------------------------------------------
+    initial_cash: int = 1_000_000_00  # $1M in cents
+    initial_price: int = 100_00  # $100.00
+    initial_book_depth: int = 5  # seeded resting levels per side
+    initial_book_qty: int = 500  # shares per seeded level
+
+    # ------------------------------------------------------------------
+    # Fairness delays (paper §2.2)
+    # ------------------------------------------------------------------
+    sequencer_delay_us: float = 500.0  # d_s
+    holdrelease_delay_us: float = 1000.0  # d_h
+
+    # ------------------------------------------------------------------
+    # DDP (paper §3): None = static delay parameter
+    # ------------------------------------------------------------------
+    ddp_inbound_target: Optional[float] = None
+    ddp_outbound_target: Optional[float] = None
+    ddp_window: int = 1000
+    ddp_step_us: float = 5.0
+    ddp_update_every: int = 50
+    ddp_max_delay_us: float = 5000.0
+
+    # ------------------------------------------------------------------
+    # ROS (paper §3)
+    # ------------------------------------------------------------------
+    replication_factor: int = 1
+
+    # ------------------------------------------------------------------
+    # Network latency models (one-way): hard floor + gamma jitter +
+    # rare spikes (see repro.sim.latency.cloud_link)
+    # ------------------------------------------------------------------
+    participant_gateway_base_us: float = 115.0
+    participant_gateway_jitter_shape: float = 0.7
+    participant_gateway_jitter_scale_us: float = 33.0
+    gateway_engine_base_us: float = 178.0
+    gateway_engine_jitter_shape: float = 0.7
+    gateway_engine_jitter_scale_us: float = 92.0
+    spike_prob: float = 0.006
+    spike_scale: float = 5.0
+    straggler_gateways: int = 0
+    straggler_multiplier: float = 2.0
+    #: Fig. 5: extra delays injected on gateway->engine links, cycling
+    #: every ``injected_phase_seconds`` (e.g. (0.0, 400.0, 200.0)).
+    injected_delay_phases_us: Optional[Tuple[float, ...]] = None
+    injected_phase_seconds: float = 6.0
+    #: Fraction of gateways whose engine link gets the injection.  The
+    #: paper injects on "the gateway-engine link" (not all of them);
+    #: delaying a subset creates the sustained cross-gateway asymmetry
+    #: that reorders traffic, whereas delaying every link equally
+    #: shifts all timestamps together and barely reorders anything.
+    injected_gateway_fraction: float = 0.25
+
+    # ------------------------------------------------------------------
+    # Clocks and synchronization
+    # ------------------------------------------------------------------
+    clock_drift_ppb_max: int = 50_000
+    clock_offset_ms_max: float = 5.0
+    #: "huygens" | "ntp" | "none" (free-running clocks) | "perfect"
+    clock_sync: str = "huygens"
+    sync_interval_ms: float = 1000.0
+    probe_interval_ms: float = 10.0
+    sync_warm_start_rounds: int = 3
+    #: Huygens "network effect": gateways probe each other too, and a
+    #: mesh-wide least-squares fit reconciles the estimates (cuts the
+    #: residual-error tail at extra probing cost).
+    sync_use_mesh: bool = False
+
+    # ------------------------------------------------------------------
+    # Matching mode: "continuous" price-time matching (the paper's
+    # exchange) or frequent "batch" auctions (the §5/§7 alternative
+    # market design, repro.core.batchauction)
+    # ------------------------------------------------------------------
+    matching_mode: str = "continuous"
+    batch_interval_ms: float = 100.0
+
+    # ------------------------------------------------------------------
+    # Engine critical-path service model
+    # ------------------------------------------------------------------
+    ingress_service_us: float = 8.0
+    book_service_us: float = 29.0
+    #: Coefficient of variation of per-order book work.  Matching cost
+    #: varies with fills and book depth; the variability also breaks
+    #: the phase-locking a deterministic closed system would exhibit
+    #: around the portfolio lock, producing Table 1's gradual ramp.
+    book_service_cv: float = 0.8
+    lock_service_us: float = 16.4
+    lock_service_cv: float = 0.3
+    gateway_service_us: float = 5.0
+
+    # ------------------------------------------------------------------
+    # CPU accounting (Fig. 6b; cores = baseline + rate * per-message)
+    # ------------------------------------------------------------------
+    engine_cpu_baseline_cores: float = 0.0
+    engine_cpu_per_order_us: float = 529.0
+    engine_cpu_per_replica_us: float = 61.0
+    gateway_cpu_baseline_cores: float = 2.05
+    gateway_cpu_per_replica_us: float = 254.0
+    participant_cpu_baseline_cores: float = 0.3
+    participant_cpu_per_replica_us: float = 222.0
+
+    # ------------------------------------------------------------------
+    # Market data dissemination
+    # ------------------------------------------------------------------
+    snapshot_interval_ms: float = 100.0
+    snapshot_depth: int = 5
+    subscriptions_per_participant: int = 3
+
+    # ------------------------------------------------------------------
+    # Pre-trade risk (None = unconstrained, the course-deployment mode)
+    # ------------------------------------------------------------------
+    risk_max_position: Optional[int] = None
+    risk_max_order_notional: Optional[int] = None
+    #: Cancel a resting order rather than let it trade against the same
+    #: participant's incoming order ("cancel resting" STP).
+    self_trade_prevention: bool = False
+    #: Circuit breaker: halt a symbol when its price moves more than
+    #: this fraction within ``halt_window_ms`` (None = disabled).
+    halt_threshold: Optional[float] = None
+    halt_window_ms: float = 1000.0
+    halt_duration_ms: float = 2000.0
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    persist_trades: bool = True
+    persist_snapshots: bool = False
+    #: Record a per-order event log (stamped/sequenced/executed/...)
+    #: for surveillance-style lifecycle reconstruction (paper §6).
+    audit_trail: bool = False
+
+    # ------------------------------------------------------------------
+    # Workload (traders attached by the cluster builder)
+    # ------------------------------------------------------------------
+    orders_per_participant_per_s: float = 450.0
+    market_order_fraction: float = 0.10
+    cancel_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.symbols is None:
+            self.symbols = default_symbols(self.n_symbols)
+        else:
+            self.n_symbols = len(self.symbols)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Derived values (integer nanoseconds)
+    # ------------------------------------------------------------------
+    @property
+    def sequencer_delay_ns(self) -> int:
+        return int(self.sequencer_delay_us * MICROSECOND)
+
+    @property
+    def holdrelease_delay_ns(self) -> int:
+        return int(self.holdrelease_delay_us * MICROSECOND)
+
+    @property
+    def ddp_step_ns(self) -> int:
+        return int(self.ddp_step_us * MICROSECOND)
+
+    @property
+    def ddp_max_delay_ns(self) -> int:
+        return int(self.ddp_max_delay_us * MICROSECOND)
+
+    @property
+    def snapshot_interval_ns(self) -> int:
+        return int(self.snapshot_interval_ms * MILLISECOND)
+
+    @property
+    def batch_interval_ns(self) -> int:
+        return int(self.batch_interval_ms * MILLISECOND)
+
+    @property
+    def sync_interval_ns(self) -> int:
+        return int(self.sync_interval_ms * MILLISECOND)
+
+    @property
+    def probe_interval_ns(self) -> int:
+        return int(self.probe_interval_ms * MILLISECOND)
+
+    @property
+    def injected_phase_ns(self) -> int:
+        return int(self.injected_phase_seconds * SECOND)
+
+    @property
+    def aggregate_order_rate(self) -> float:
+        """Offered orders/second across all participants."""
+        return self.n_participants * self.orders_per_participant_per_s
+
+    # ------------------------------------------------------------------
+    # Validation and variants
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Reject configurations the builder cannot realize."""
+        if self.n_participants < 1:
+            raise ValueError("need at least one participant")
+        if self.n_gateways < 1:
+            raise ValueError("need at least one gateway")
+        if not 1 <= self.replication_factor <= self.n_gateways:
+            raise ValueError(
+                f"replication factor {self.replication_factor} must be in "
+                f"[1, n_gateways={self.n_gateways}]"
+            )
+        if self.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.n_shards > self.n_symbols:
+            raise ValueError(
+                f"{self.n_shards} shards cannot each own a symbol "
+                f"(only {self.n_symbols} symbols)"
+            )
+        if self.straggler_gateways > self.n_gateways:
+            raise ValueError("more straggler gateways than gateways")
+        if not 0.0 < self.injected_gateway_fraction <= 1.0:
+            raise ValueError("injected_gateway_fraction must be in (0, 1]")
+        if self.clock_sync not in ("huygens", "ntp", "none", "perfect"):
+            raise ValueError(f"unknown clock_sync mode {self.clock_sync!r}")
+        if self.matching_mode not in ("continuous", "batch"):
+            raise ValueError(f"unknown matching_mode {self.matching_mode!r}")
+        if self.batch_interval_ms <= 0:
+            raise ValueError("batch interval must be positive")
+        if self.sequencer_delay_us < 0 or self.holdrelease_delay_us < 0:
+            raise ValueError("delay parameters must be non-negative")
+        if not 0 <= self.subscriptions_per_participant <= self.n_symbols:
+            raise ValueError("subscriptions_per_participant outside [0, n_symbols]")
+        for name in ("market_order_fraction", "cancel_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+
+    def with_overrides(self, **kwargs) -> "CloudExConfig":
+        """A copy with fields replaced (dataclasses.replace + validation)."""
+        return replace(self, **kwargs)

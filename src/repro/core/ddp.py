@@ -1,0 +1,130 @@
+"""Dynamic Delay Parameters (DDP).
+
+Paper §3: "For each parameter, DDP uses a rolling window of
+order/market data samples (of size 1000 samples/window) to calculate
+the unfairness ratios in real time.  If the current unfairness ratio is
+above the target unfairness ratio, DDP increases the delay parameter by
+a small fixed amount (5 us), else DDP decreases it by the same amount."
+
+One :class:`DdpController` instance tunes one delay parameter (``d_s``
+or ``d_h``) -- the paper tunes the two "continuously and
+independently".  The controller is pure logic; the exchange feeds it a
+boolean unfairness flag per sample and applies the returned delay.
+
+``update_every_samples`` spaces adjustments out: re-deciding on every
+single sample at 22k samples/s would move the delay by up to
+110 ms/s of simulated time, far faster than the unfairness signal in
+the rolling window can respond; the spacing is an implementation
+detail the paper leaves open, surfaced here as a knob (default one
+adjustment per 50 samples).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+
+
+class DdpController:
+    """Feedback controller for one delay parameter.
+
+    Parameters
+    ----------
+    target_ratio:
+        The operator-chosen target unfairness ratio (e.g. 0.01 for 1%).
+    initial_delay_ns:
+        Starting value of the delay parameter.
+    window:
+        Rolling window size in samples (paper: 1000).
+    step_ns:
+        Adjustment per decision (paper: 5 us).
+    min_delay_ns, max_delay_ns:
+        Clamp range for the delay parameter.
+    update_every_samples:
+        Samples between adjustment decisions.
+    apply:
+        Optional callback invoked with the new delay whenever it
+        changes (wired to ``Sequencer.set_delay`` / the publisher).
+    """
+
+    def __init__(
+        self,
+        target_ratio: float,
+        initial_delay_ns: int = 0,
+        window: int = 1000,
+        step_ns: int = 5 * MICROSECOND,
+        min_delay_ns: int = 0,
+        max_delay_ns: int = 10 * MILLISECOND,
+        update_every_samples: int = 50,
+        apply: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if not 0.0 <= target_ratio <= 1.0:
+            raise ValueError(f"target ratio must be in [0,1], got {target_ratio}")
+        if window < 1 or step_ns <= 0 or update_every_samples < 1:
+            raise ValueError("window, step, and update spacing must be positive")
+        if not min_delay_ns <= initial_delay_ns <= max_delay_ns:
+            raise ValueError(
+                f"initial delay {initial_delay_ns} outside [{min_delay_ns}, {max_delay_ns}]"
+            )
+        self.target_ratio = target_ratio
+        self.delay_ns = initial_delay_ns
+        self.window = window
+        self.step_ns = step_ns
+        self.min_delay_ns = min_delay_ns
+        self.max_delay_ns = max_delay_ns
+        self.update_every_samples = update_every_samples
+        self.apply = apply
+        self._samples: Deque[bool] = deque(maxlen=window)
+        self._unfair_in_window = 0
+        self._since_update = 0
+        self.samples_seen = 0
+        self.adjustments = 0
+        #: (sample index, delay) trace for plotting adaptation (Fig. 5).
+        self.delay_trace: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Sampling and decisions
+    # ------------------------------------------------------------------
+    def current_ratio(self) -> float:
+        """Unfairness ratio over the rolling window."""
+        if not self._samples:
+            return 0.0
+        return self._unfair_in_window / len(self._samples)
+
+    def on_sample(self, unfair: bool) -> Optional[int]:
+        """Feed one sample; returns the new delay if it changed."""
+        if len(self._samples) == self._samples.maxlen and self._samples[0]:
+            self._unfair_in_window -= 1
+        self._samples.append(unfair)
+        if unfair:
+            self._unfair_in_window += 1
+        self.samples_seen += 1
+        self._since_update += 1
+
+        if len(self._samples) < self.window or self._since_update < self.update_every_samples:
+            return None
+        self._since_update = 0
+        return self._adjust()
+
+    def _adjust(self) -> Optional[int]:
+        if self.current_ratio() > self.target_ratio:
+            proposed = self.delay_ns + self.step_ns
+        else:
+            proposed = self.delay_ns - self.step_ns
+        proposed = min(max(proposed, self.min_delay_ns), self.max_delay_ns)
+        if proposed == self.delay_ns:
+            return None
+        self.delay_ns = proposed
+        self.adjustments += 1
+        self.delay_trace.append((self.samples_seen, proposed))
+        if self.apply is not None:
+            self.apply(proposed)
+        return proposed
+
+    def __repr__(self) -> str:
+        return (
+            f"DdpController(target={self.target_ratio:.3%}, delay={self.delay_ns}ns, "
+            f"window_ratio={self.current_ratio():.3%})"
+        )

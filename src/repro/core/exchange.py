@@ -1,0 +1,643 @@
+"""The central exchange server: sequencers, shards, dissemination.
+
+One :class:`CentralExchangeServer` actor runs on the engine host and
+contains, per Fig. 1:
+
+- an ingress stage (single core) that receives stamped order replicas,
+  deduplicates ROS replicas (earliest wins, duplicates still cost
+  ingress service -- the Fig. 6a RF>3 degradation), and routes orders
+  to shards by symbol;
+- per shard, a :class:`~repro.core.sequencer.Sequencer` (the order
+  priority queue with hold delay ``d_s``) and a
+  :class:`~repro.core.matching.MatchingEngineCore`;
+- a single global *portfolio lock* (:class:`~repro.sim.cpu.CorePool`
+  with one core): every order's settlement passes through it, so
+  throughput stops scaling once the lock saturates -- Table 1's
+  plateau arises mechanically;
+- the market-data publisher, which stamps every piece with a release
+  time ``t_R = t_M + d_h`` and fans it out to subscribed gateways;
+- optional DDP controllers tuning ``d_s`` and ``d_h`` from live
+  unfairness samples.
+
+Timing model per order: ingress service -> sequencer hold -> shard
+book work (``book_service_us``, one order at a time per shard) ->
+portfolio critical section (``lock_service_us``, one order at a time
+globally).  A shard does not start its next order until the current
+one clears the lock, modelling a shard thread that blocks on the
+shared-structure mutex.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import CloudExConfig
+from repro.core.ddp import DdpController
+from repro.core.marketdata import MarketDataPiece, TradeRecord
+from repro.core.matching import MatchingEngineCore, MatchResult
+from repro.core import audit as audit_events
+from repro.core.audit import AuditEvent, AuditTrail
+from repro.core.batchauction import BatchAuctionCore
+from repro.core.messages import (
+    HoldReleaseReport,
+    OrderConfirmation,
+    StampedCancel,
+    StampedOrder,
+    TradeConfirmation,
+)
+from repro.core.metrics import MetricsCollector
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.risk import MarginRiskPolicy
+from repro.core.ros import RosDeduplicator
+from repro.core.sequencer import Sequencer, SequencerSample
+from repro.core.sharding import SymbolRouter
+from repro.core.surveillance import CircuitBreaker
+from repro.core.types import OrderStatus, RejectReason
+from repro.sim.cpu import CorePool, CpuAccountant
+from repro.sim.engine import Actor, Simulator
+from repro.sim.network import Host, Network
+from repro.sim.timeunits import MICROSECOND
+
+#: Items flowing through a sequencer: ("order", Order) or ("cancel", StampedCancel).
+_SequencedItem = Tuple[str, object]
+
+
+class EngineShard:
+    """One matching-engine shard: its own sequencer, books, and a
+    serially-blocking processing loop."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "CentralExchangeServer",
+        shard_id: int,
+        symbols: Tuple[str, ...],
+        portfolio: PortfolioMatrix,
+        trade_ids,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.shard_id = shard_id
+        self.core = MatchingEngineCore(
+            symbols,
+            portfolio,
+            trade_id_counter=trade_ids,
+            snapshot_depth=server.config.snapshot_depth,
+            risk_policy=server.risk_policy,
+            self_trade_prevention=server.config.self_trade_prevention,
+            circuit_breaker=server.circuit_breaker,
+        )
+        self.sequencer = Sequencer(
+            sim=sim,
+            clock=server.clock,
+            on_eligible=self._maybe_start,
+            delay_ns=server.config.sequencer_delay_ns,
+            on_sample=server._on_sequencer_sample,
+        )
+        self._book_service_ns = int(server.config.book_service_us * MICROSECOND)
+        self._lock_service_ns = int(server.config.lock_service_us * MICROSECOND)
+        self._book_cv = server.config.book_service_cv
+        self._lock_cv = server.config.lock_service_cv
+        self._rng = server.rng
+        self._busy = False
+        self._backlog: Deque[_SequencedItem] = deque()
+
+    def _service_sample(self, mean_ns: int, cv: float) -> int:
+        """Gamma-distributed service time with the configured mean/CV."""
+        if cv <= 0.0:
+            return mean_ns
+        shape = 1.0 / (cv * cv)
+        sample = self._rng.gamma(shape, mean_ns / shape)
+        return max(1, int(sample))
+
+    # ------------------------------------------------------------------
+    # Serial processing loop (pull model: the shard dequeues from its
+    # sequencer whenever it goes idle, so backlog sits in the priority
+    # queue -- timestamp-sorted -- not in a FIFO)
+    # ------------------------------------------------------------------
+    def _maybe_start(self) -> None:
+        if self._busy:
+            return
+        item = self.sequencer.pop_eligible()
+        if item is not None:
+            self._begin(item)
+
+    def _begin(self, item: _SequencedItem) -> None:
+        self._busy = True
+        self.sim.schedule(
+            self._service_sample(self._book_service_ns, self._book_cv), self._book_done, item
+        )
+
+    def _book_done(self, item: _SequencedItem) -> None:
+        # Queue for the global portfolio lock; the shard stays blocked.
+        self.server.lock_pool.submit(
+            self._service_sample(self._lock_service_ns, self._lock_cv),
+            self._finalize,
+            item,
+            category="portfolio-lock",
+        )
+
+    def _finalize(self, item: _SequencedItem) -> None:
+        kind, payload = item
+        now_local = self.server.clock.now()
+        if kind == "order":
+            assert isinstance(payload, Order)
+            result = self.core.process_order(payload, now_local)
+            self.server._emit_order_result(payload, result)
+        else:
+            assert isinstance(payload, StampedCancel)
+            confirmation = self.core.process_cancel(payload, now_local)
+            self.server._emit_cancel_result(payload, confirmation)
+        self._busy = False
+        self._maybe_start()
+
+    def backlog_size(self) -> int:
+        """Eligible-or-held orders waiting in this shard's sequencer."""
+        return self.sequencer.pending()
+
+    def start(self) -> None:
+        """Continuous shards have no periodic work."""
+
+    def __repr__(self) -> str:
+        return f"EngineShard({self.shard_id}, symbols={len(self.core.books)})"
+
+
+class BatchEngineShard:
+    """A shard running frequent batch auctions instead of continuous
+    matching (config ``matching_mode="batch"``).
+
+    Orders still traverse the full fair-access path -- gateway
+    stamping, ROS dedup, and the sequencer's hold delay -- and are then
+    *buffered* per symbol; a periodic timer clears each symbol's
+    auction at the uniform price.  Per-order service timing is not
+    modelled (no paper figure depends on batch-mode performance); CPU
+    is accounted per order and per auction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "CentralExchangeServer",
+        shard_id: int,
+        symbols: Tuple[str, ...],
+        portfolio: PortfolioMatrix,
+        trade_ids,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.shard_id = shard_id
+        self.symbols = symbols
+        self.core = BatchAuctionCore(
+            symbols,
+            portfolio,
+            trade_id_counter=trade_ids,
+            reference_prices={s: server.config.initial_price for s in symbols},
+            snapshot_depth=server.config.snapshot_depth,
+        )
+        self.sequencer = Sequencer(
+            sim=sim,
+            clock=server.clock,
+            on_eligible=self._drain,
+            delay_ns=server.config.sequencer_delay_ns,
+            on_sample=server._on_sequencer_sample,
+        )
+        self._cpu_per_order_ns = int(server.config.engine_cpu_per_order_us * MICROSECOND)
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self.sequencer.pop_eligible()
+            if item is None:
+                return
+            self._ingest(item)
+
+    def _ingest(self, item: _SequencedItem) -> None:
+        kind, payload = item
+        self.server.host.cpu.charge("order", self._cpu_per_order_ns)
+        now_local = self.server.clock.now()
+        if kind == "order":
+            assert isinstance(payload, Order)
+            self.core.add_order(payload)
+            self.server._emit_batch_ack(payload, now_local)
+        else:
+            assert isinstance(payload, StampedCancel)
+            found = self.core.cancel(
+                payload.participant_id, payload.client_order_id, payload.symbol
+            )
+            self.server._emit_batch_cancel(payload, found, now_local)
+
+    # ------------------------------------------------------------------
+    # Auctions
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic auction timer."""
+        self.sim.schedule(self.server.config.batch_interval_ns, self._auction_tick)
+
+    def _auction_tick(self) -> None:
+        now_local = self.server.clock.now()
+        for symbol in self.symbols:
+            if self.core.resting_count(symbol) == 0:
+                continue
+            result = self.core.run_auction(symbol, now_local)
+            if result.cleared:
+                self.server._emit_auction_result(result, now_local)
+        self.sim.schedule(self.server.config.batch_interval_ns, self._auction_tick)
+
+    def backlog_size(self) -> int:
+        """Orders held in this shard's sequencer (not yet buffered)."""
+        return self.sequencer.pending()
+
+    def __repr__(self) -> str:
+        return f"BatchEngineShard({self.shard_id}, symbols={len(self.symbols)})"
+
+
+class CentralExchangeServer(Actor):
+    """The engine actor bound to the engine host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        host: Host,
+        config: CloudExConfig,
+        router: SymbolRouter,
+        portfolio: PortfolioMatrix,
+        metrics: MetricsCollector,
+        gateway_names: Sequence[str],
+        trade_sink: Optional[Callable[[TradeRecord, int], None]] = None,
+        snapshot_sink: Optional[Callable[[object, int], None]] = None,
+    ) -> None:
+        super().__init__(sim, host.name)
+        self.network = network
+        self.host = host
+        self.config = config
+        self.router = router
+        self.portfolio = portfolio
+        self.metrics = metrics
+        self.trade_sink = trade_sink
+        self.snapshot_sink = snapshot_sink
+        self.clock = host.clock
+        self.rng = network.rngs.stream("engine:service")
+
+        # Critical-path pools track their own utilization; Fig. 6b CPU
+        # accounting is charged separately on host.cpu.
+        self.ingress = CorePool(sim, 1, CpuAccountant())
+        self.lock_pool = CorePool(sim, 1, CpuAccountant())
+        self._ingress_service_ns = int(config.ingress_service_us * MICROSECOND)
+        self._cpu_per_replica_ns = int(config.engine_cpu_per_replica_us * MICROSECOND)
+        self._cpu_per_order_ns = int(config.engine_cpu_per_order_us * MICROSECOND)
+
+        self.risk_policy = None
+        if config.risk_max_position is not None or config.risk_max_order_notional is not None:
+            self.risk_policy = MarginRiskPolicy(
+                max_position=config.risk_max_position,
+                max_order_notional=config.risk_max_order_notional,
+            )
+        self.audit: Optional[AuditTrail] = AuditTrail() if config.audit_trail else None
+        self.circuit_breaker: Optional[CircuitBreaker] = None
+        if config.halt_threshold is not None:
+            self.circuit_breaker = CircuitBreaker(
+                threshold=config.halt_threshold,
+                window_ns=int(config.halt_window_ms * 1_000_000),
+                halt_ns=int(config.halt_duration_ms * 1_000_000),
+            )
+
+        self.dedup = RosDeduplicator()
+        trade_ids = itertools.count(1)
+        shard_class = EngineShard if config.matching_mode == "continuous" else BatchEngineShard
+        self.shards = [
+            shard_class(sim, self, shard_id, symbols, portfolio, trade_ids)
+            for shard_id, symbols in enumerate(router.partition())
+        ]
+
+        self.d_h = config.holdrelease_delay_ns
+        self._md_seq = itertools.count(1)
+        # Market data goes to *every* gateway: simultaneous release
+        # requires every H/R buffer to hold the piece, and the
+        # outbound-unfairness statistic is "late at >= 1 gateway".
+        self._md_gateways: List[str] = list(gateway_names)
+        # participant -> gateway for confirmation routing.
+        self._primary_gateway: Dict[str, str] = {}
+        self._confirm_gateway: Dict[str, str] = {}
+
+        self.ddp_inbound: Optional[DdpController] = None
+        self.ddp_outbound: Optional[DdpController] = None
+        if config.ddp_inbound_target is not None:
+            self.ddp_inbound = DdpController(
+                target_ratio=config.ddp_inbound_target,
+                initial_delay_ns=config.sequencer_delay_ns,
+                window=config.ddp_window,
+                step_ns=config.ddp_step_ns,
+                max_delay_ns=config.ddp_max_delay_ns,
+                update_every_samples=config.ddp_update_every,
+                apply=self._apply_sequencer_delay,
+            )
+        if config.ddp_outbound_target is not None:
+            self.ddp_outbound = DdpController(
+                target_ratio=config.ddp_outbound_target,
+                initial_delay_ns=config.holdrelease_delay_ns,
+                window=config.ddp_window,
+                step_ns=config.ddp_step_ns,
+                max_delay_ns=config.ddp_max_delay_ns,
+                update_every_samples=config.ddp_update_every,
+                apply=self._apply_holdrelease_delay,
+            )
+
+        host.bind(self)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the cluster builder)
+    # ------------------------------------------------------------------
+    def register_participant(self, participant_id: str, primary_gateway: str) -> None:
+        """Record the confirmation-routing default for a participant."""
+        self._primary_gateway[participant_id] = primary_gateway
+
+    def start(self) -> None:
+        """Begin periodic work (book snapshots, auction timers).  Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.snapshot_interval_ns > 0:
+            self.sim.schedule(self.config.snapshot_interval_ns, self._snapshot_tick)
+        for shard in self.shards:
+            shard.start()
+
+    # ------------------------------------------------------------------
+    # DDP applications
+    # ------------------------------------------------------------------
+    def _apply_sequencer_delay(self, delay_ns: int) -> None:
+        for shard in self.shards:
+            shard.sequencer.set_delay(delay_ns)
+
+    def _apply_holdrelease_delay(self, delay_ns: int) -> None:
+        self.d_h = delay_ns
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, msg, sender: str) -> None:
+        if isinstance(msg, StampedOrder):
+            self._on_order_replica(msg.order)
+        elif isinstance(msg, StampedCancel):
+            self._on_cancel(msg)
+        elif isinstance(msg, HoldReleaseReport):
+            self._on_hr_report(msg)
+        else:
+            super().on_message(msg, sender)
+
+    # ------------------------------------------------------------------
+    # Ingress: dedup + routing
+    # ------------------------------------------------------------------
+    def _on_order_replica(self, order: Order) -> None:
+        self.metrics.replicas_received += 1
+        self.host.cpu.charge("replica", self._cpu_per_replica_ns)
+        self.ingress.submit(self._ingress_service_ns, self._ingress_done, order)
+
+    def _ingress_done(self, order: Order) -> None:
+        key = (order.participant_id, order.client_order_id)
+        if not self.dedup.admit(key, order.gateway_id, self.clock.now()):
+            self.metrics.duplicates_dropped += 1
+            return
+        self.metrics.record_engine_receipt(
+            order.participant_id, order.client_order_id, self.sim.now
+        )
+        self._confirm_gateway[order.participant_id] = order.gateway_id
+        if self.audit is not None:
+            self.audit.record(
+                AuditEvent(
+                    participant_id=order.participant_id,
+                    client_order_id=order.client_order_id,
+                    kind=audit_events.STAMPED,
+                    timestamp_ns=order.gateway_timestamp,
+                    detail=f"gateway={order.gateway_id}",
+                )
+            )
+        shard = self.shards[self.router.shard_of(order.symbol)]
+        shard.sequencer.enqueue(order.priority_key(), ("order", order), order.stamped_true)
+
+    def _on_cancel(self, cancel: StampedCancel) -> None:
+        self.host.cpu.charge("replica", self._cpu_per_replica_ns)
+        self.ingress.submit(self._ingress_service_ns, self._cancel_ingress_done, cancel)
+
+    def _cancel_ingress_done(self, cancel: StampedCancel) -> None:
+        shard = self.shards[self.router.shard_of(cancel.symbol)]
+        shard.sequencer.enqueue(cancel.priority_key(), ("cancel", cancel), cancel.stamped_true)
+
+    # ------------------------------------------------------------------
+    # Sequencer feedback
+    # ------------------------------------------------------------------
+    def _on_sequencer_sample(self, sample: SequencerSample) -> None:
+        self.metrics.record_sequencer_sample(sample)
+        if self.ddp_inbound is not None:
+            self.ddp_inbound.on_sample(sample.out_of_sequence)
+
+    # ------------------------------------------------------------------
+    # Results and dissemination
+    # ------------------------------------------------------------------
+    def _emit_order_result(self, order: Order, result: MatchResult) -> None:
+        self.host.cpu.charge("order", self._cpu_per_order_ns)
+        self.metrics.orders_matched += 1
+        if result.confirmation.status is OrderStatus.REJECTED:
+            self.metrics.rejects += 1
+        if self.audit is not None:
+            self._audit_order_result(order, result)
+        gateway = order.gateway_id or self._primary_gateway.get(order.participant_id)
+        if gateway is not None:
+            self.network.send(self.name, gateway, result.confirmation)
+        for cancelled in result.stp_cancels:
+            self._route_to_participant(
+                OrderConfirmation(
+                    participant_id=cancelled.participant_id,
+                    client_order_id=cancelled.client_order_id,
+                    symbol=cancelled.symbol,
+                    status=OrderStatus.CANCELLED,
+                    filled=cancelled.quantity - cancelled.remaining,
+                    remaining=cancelled.remaining,
+                    engine_timestamp=self.clock.now(),
+                )
+            )
+        self._emit_trades(result.trades, result.trade_confirmations)
+
+    def _emit_trades(self, trades, trade_confirmations) -> None:
+        """Route trade confirmations, persist, and disseminate trades.
+
+        Each confirmation is stamped with the same release time as the
+        trade's market-data piece (Fig. 2 step 7): the counterparty
+        learns of the fill when the market does, not earlier.
+        """
+        self.metrics.trades_executed += len(trades)
+        now_local = self.clock.now()
+        release_at = now_local + self.d_h
+        for trade_conf in trade_confirmations:
+            trade_conf.release_at = release_at
+            self._route_to_participant(trade_conf)
+        for trade in trades:
+            if self.trade_sink is not None:
+                self.trade_sink(trade, now_local)
+            self._publish(trade.symbol, trade)
+
+    # ------------------------------------------------------------------
+    # Batch-mode emission (auction shards)
+    # ------------------------------------------------------------------
+    def _emit_batch_ack(self, order: Order, now_local: int) -> None:
+        """Acknowledge an order buffered for the next auction."""
+        self.metrics.orders_matched += 1
+        confirmation = OrderConfirmation(
+            participant_id=order.participant_id,
+            client_order_id=order.client_order_id,
+            symbol=order.symbol,
+            status=OrderStatus.ACCEPTED,
+            filled=0,
+            remaining=order.remaining,
+            engine_timestamp=now_local,
+        )
+        gateway = order.gateway_id or self._primary_gateway.get(order.participant_id)
+        if gateway is not None:
+            self.network.send(self.name, gateway, confirmation)
+
+    def _emit_batch_cancel(self, cancel: StampedCancel, found: bool, now_local: int) -> None:
+        confirmation = OrderConfirmation(
+            participant_id=cancel.participant_id,
+            client_order_id=cancel.client_order_id,
+            symbol=cancel.symbol,
+            status=OrderStatus.CANCELLED if found else OrderStatus.REJECTED,
+            filled=0,
+            remaining=0,
+            engine_timestamp=now_local,
+            reason=None if found else RejectReason.UNKNOWN_ORDER,
+        )
+        self.network.send(self.name, cancel.gateway_id, confirmation)
+
+    def _emit_auction_result(self, result, now_local: int) -> None:
+        """Emit one auction's executions: per-fill confirmations to both
+        parties, persistence, and dissemination."""
+        trade_confirmations = []
+        for trade in result.trades:
+            for participant, client_order_id, is_buy in (
+                (trade.buyer, trade.buy_client_order_id, True),
+                (trade.seller, trade.sell_client_order_id, False),
+            ):
+                trade_confirmations.append(
+                    TradeConfirmation(
+                        participant_id=participant,
+                        client_order_id=client_order_id,
+                        trade_id=trade.trade_id,
+                        symbol=trade.symbol,
+                        is_buy=is_buy,
+                        quantity=trade.quantity,
+                        price=trade.price,
+                        engine_timestamp=now_local,
+                    )
+                )
+        self._emit_trades(result.trades, trade_confirmations)
+
+    def _emit_cancel_result(self, cancel: StampedCancel, confirmation) -> None:
+        self.host.cpu.charge("order", self._cpu_per_order_ns)
+        if self.audit is not None and confirmation.status is OrderStatus.CANCELLED:
+            self.audit.record(
+                AuditEvent(
+                    participant_id=cancel.participant_id,
+                    client_order_id=cancel.client_order_id,
+                    kind=audit_events.CANCELLED,
+                    timestamp_ns=self.clock.now(),
+                    detail=f"via={cancel.gateway_id}",
+                )
+            )
+        self.network.send(self.name, cancel.gateway_id, confirmation)
+
+    def _audit_order_result(self, order: Order, result: MatchResult) -> None:
+        """One SEQUENCED event, one EXECUTED per fill (both sides), and
+        the terminal disposition."""
+        now_local = self.clock.now()
+        self.audit.record(
+            AuditEvent(
+                participant_id=order.participant_id,
+                client_order_id=order.client_order_id,
+                kind=audit_events.SEQUENCED,
+                timestamp_ns=now_local,
+            )
+        )
+        for trade_conf in result.trade_confirmations:
+            self.audit.record(
+                AuditEvent(
+                    participant_id=trade_conf.participant_id,
+                    client_order_id=trade_conf.client_order_id,
+                    kind=audit_events.EXECUTED,
+                    timestamp_ns=now_local,
+                    detail=f"trade={trade_conf.trade_id} qty={trade_conf.quantity} px={trade_conf.price}",
+                )
+            )
+        status = result.confirmation.status
+        if status is OrderStatus.REJECTED:
+            kind = audit_events.REJECTED
+        elif status is OrderStatus.CANCELLED:
+            kind = audit_events.CANCELLED
+        else:
+            kind = audit_events.ACCEPTED
+        self.audit.record(
+            AuditEvent(
+                participant_id=order.participant_id,
+                client_order_id=order.client_order_id,
+                kind=kind,
+                timestamp_ns=now_local,
+                detail=str(status),
+            )
+        )
+
+    def _route_to_participant(self, confirmation) -> None:
+        participant = confirmation.participant_id
+        gateway = self._confirm_gateway.get(participant) or self._primary_gateway.get(participant)
+        if gateway is not None:
+            self.network.send(self.name, gateway, confirmation)
+
+    def _publish(self, symbol: str, payload) -> None:
+        now_local = self.clock.now()
+        piece = MarketDataPiece(
+            seq=next(self._md_seq),
+            symbol=symbol,
+            payload=payload,
+            created_local=now_local,
+            release_at=now_local + self.d_h,
+        )
+        self.metrics.register_md_piece(piece.seq, len(self._md_gateways))
+        for gateway in self._md_gateways:
+            self.network.send(self.name, gateway, piece)
+
+    def _snapshot_tick(self) -> None:
+        now_local = self.clock.now()
+        for symbol in self.router.symbols:
+            shard = self.shards[self.router.shard_of(symbol)]
+            snapshot = shard.core.snapshot(symbol, now_local)
+            if self.snapshot_sink is not None:
+                self.snapshot_sink(snapshot, now_local)
+            self._publish(symbol, snapshot)
+        self.sim.schedule(self.config.snapshot_interval_ns, self._snapshot_tick)
+
+    # ------------------------------------------------------------------
+    # Market-data plumbing
+    # ------------------------------------------------------------------
+    def _on_hr_report(self, report: HoldReleaseReport) -> None:
+        finalized = self.metrics.record_md_report(
+            report.md_seq, report.late, report.lateness_ns, report.hold_ns
+        )
+        if finalized is not None and self.ddp_outbound is not None:
+            self.ddp_outbound.on_sample(finalized)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def current_sequencer_delay_ns(self) -> int:
+        return self.shards[0].sequencer.delay_ns
+
+    def pending_orders(self) -> int:
+        """Orders held in the shards' sequencers."""
+        return sum(s.sequencer.pending() for s in self.shards)
+
+    def __repr__(self) -> str:
+        return f"CentralExchangeServer(shards={len(self.shards)}, d_h={self.d_h}ns)"

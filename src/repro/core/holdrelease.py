@@ -1,0 +1,108 @@
+"""The hold/release (H/R) buffer: simultaneous market-data release.
+
+Paper §2.1/§2.2: each gateway holds every piece of market data until
+its engine-prescribed release time ``t_R = t_M + d_h``; with precisely
+synchronized clocks, identical release times mean all participants see
+the data simultaneously.  A piece that *arrives after* its release time
+is released immediately but was unfairly disseminated: some gateways
+may have already released it.
+
+Each handled piece produces a :class:`HoldReleaseReport` (sent back to
+the engine) carrying the hold duration -- the paper's *releasing
+delay*, Fig. 4b/5b's y-axis -- and the late flag that feeds both the
+outbound-unfairness metric (a piece is unfair if >=1 gateway was late)
+and the DDP controller for ``d_h``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.marketdata import MarketDataPiece
+from repro.core.messages import HoldReleaseReport
+from repro.sim.clock import HostClock
+from repro.sim.engine import Simulator
+
+
+class HoldReleaseBuffer:
+    """One gateway's H/R buffer.
+
+    Parameters
+    ----------
+    sim, clock:
+        Simulator and the owning gateway's disciplined clock.
+    gateway_id:
+        For report attribution.
+    release:
+        Called with ``(piece, released_local)`` when the piece is
+        dispensed to this gateway's participants.
+    report:
+        Called with a :class:`HoldReleaseReport` per piece; the gateway
+        forwards these to the engine.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        clock: HostClock,
+        gateway_id: str,
+        release: Callable[[MarketDataPiece, int], None],
+        report: Optional[Callable[[HoldReleaseReport], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.clock = clock
+        self.gateway_id = gateway_id
+        self.release = release
+        self.report = report
+        self.held_count = 0
+        self.late_count = 0
+        self.total_hold_ns = 0
+
+    def offer(self, piece: MarketDataPiece) -> None:
+        """Accept a piece from the engine; hold or release immediately."""
+        arrival_local = self.clock.now()
+        if arrival_local >= piece.release_at:
+            # Arrived past its release time: unfair dissemination.
+            self._release(piece, hold_ns=0, late=True, lateness_ns=arrival_local - piece.release_at)
+            return
+        hold_ns = piece.release_at - arrival_local
+        self.clock.schedule_at_local(
+            piece.release_at, self._release, piece, hold_ns, False, 0
+        )
+
+    def _release(
+        self, piece: MarketDataPiece, hold_ns: int, late: bool, lateness_ns: int
+    ) -> None:
+        self.held_count += 1
+        self.total_hold_ns += hold_ns
+        if late:
+            self.late_count += 1
+        self.release(piece, self.clock.now())
+        if self.report is not None:
+            self.report(
+                HoldReleaseReport(
+                    gateway_id=self.gateway_id,
+                    md_seq=piece.seq,
+                    late=late,
+                    lateness_ns=lateness_ns,
+                    hold_ns=hold_ns,
+                )
+            )
+
+    def mean_hold_us(self) -> float:
+        """Average releasing delay at this gateway, microseconds."""
+        if self.held_count == 0:
+            return 0.0
+        return self.total_hold_ns / self.held_count / 1_000
+
+    def late_ratio(self) -> float:
+        """Fraction of pieces this gateway received past release time."""
+        if self.held_count == 0:
+            return 0.0
+        return self.late_count / self.held_count
+
+    def __repr__(self) -> str:
+        return (
+            f"HoldReleaseBuffer({self.gateway_id!r}, handled={self.held_count}, "
+            f"late={self.late_count})"
+        )

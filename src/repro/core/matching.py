@@ -1,0 +1,328 @@
+"""Continuous price-time matching.
+
+The algorithm "used by most exchanges" (paper §2.1): an incoming bid
+(ask) matches whenever its price is greater (less) than or equal to the
+lowest ask (highest bid); executions occur at the *resting* order's
+price; unmatched limit remainders rest in the book; ties at one price
+go to the earlier gateway timestamp.
+
+This module is pure logic -- no simulator, no network.  The sharded
+exchange server (:mod:`repro.core.exchange`) drives one
+:class:`MatchingEngineCore` per shard and handles timing, CPU cost, and
+dissemination around it, so the matching rules themselves are
+exhaustively testable in isolation (including with hypothesis).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.book import LimitOrderBook
+from repro.core.marketdata import BookSnapshot, TradeRecord
+from repro.core.messages import OrderConfirmation, StampedCancel, TradeConfirmation
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.types import OrderStatus, OrderType, RejectReason, Symbol, TimeInForce
+
+
+@dataclass
+class MatchResult:
+    """Everything one order produced: a confirmation, zero or more
+    trades, the per-counterparty trade confirmations, and any resting
+    orders cancelled by self-trade prevention."""
+
+    confirmation: OrderConfirmation
+    trades: List[TradeRecord] = field(default_factory=list)
+    trade_confirmations: List[TradeConfirmation] = field(default_factory=list)
+    stp_cancels: List[Order] = field(default_factory=list)
+
+    @property
+    def traded_quantity(self) -> int:
+        return sum(trade.quantity for trade in self.trades)
+
+
+class MatchingEngineCore:
+    """Order books + matching rules for one set of symbols (one shard).
+
+    Parameters
+    ----------
+    symbols:
+        The symbols this core is responsible for.
+    portfolio:
+        The (shared) portfolio matrix to settle trades into.
+    trade_id_counter:
+        Shared iterator yielding globally unique trade ids; pass the
+        same iterator to every shard.
+    snapshot_depth:
+        Price levels per side included in book snapshots.
+    """
+
+    def __init__(
+        self,
+        symbols: Iterable[Symbol],
+        portfolio: PortfolioMatrix,
+        trade_id_counter: Optional[Iterable[int]] = None,
+        snapshot_depth: int = 5,
+        risk_policy=None,
+        self_trade_prevention: bool = False,
+        circuit_breaker=None,
+    ) -> None:
+        self.books: Dict[Symbol, LimitOrderBook] = {s: LimitOrderBook(s) for s in symbols}
+        self.portfolio = portfolio
+        self._trade_ids = iter(trade_id_counter) if trade_id_counter is not None else itertools.count(1)
+        self.snapshot_depth = snapshot_depth
+        self.risk_policy = risk_policy
+        #: When True, an incoming order never executes against the same
+        #: participant's resting order; the *resting* order is cancelled
+        #: instead (the common "cancel resting" STP policy).  The course
+        #: deployments ran without it (self-trades net to zero).
+        self.self_trade_prevention = self_trade_prevention
+        #: Optional :class:`repro.core.surveillance.CircuitBreaker`;
+        #: halted symbols reject incoming orders, resting orders stay.
+        self.circuit_breaker = circuit_breaker
+        self.orders_processed: int = 0
+        self.risk_rejects: int = 0
+        self.halt_rejects: int = 0
+        self.stp_cancellations: int = 0
+        self.last_trade_price: Dict[Symbol, int] = {}
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+    def process_order(self, order: Order, now_local: int) -> MatchResult:
+        """Run one order through continuous price-time matching."""
+        book = self.books.get(order.symbol)
+        if book is None:
+            return MatchResult(
+                confirmation=self._reject(order, RejectReason.UNKNOWN_SYMBOL, now_local)
+            )
+        if book.is_resting(order.participant_id, order.client_order_id):
+            return MatchResult(
+                confirmation=self._reject(order, RejectReason.DUPLICATE_ORDER_ID, now_local)
+            )
+        if self.circuit_breaker is not None and self.circuit_breaker.is_halted(
+            order.symbol, now_local
+        ):
+            self.halt_rejects += 1
+            return MatchResult(
+                confirmation=self._reject(order, RejectReason.SYMBOL_HALTED, now_local)
+            )
+        if self.risk_policy is not None and self.portfolio.has_account(order.participant_id):
+            reason = self.risk_policy.check(
+                order,
+                self.portfolio.account(order.participant_id),
+                self.reference_price(order.symbol),
+            )
+            if reason is not None:
+                self.risk_rejects += 1
+                return MatchResult(confirmation=self._reject(order, reason, now_local))
+
+        self.orders_processed += 1
+        trades, trade_confs, stp_cancels = self._match(order, book, now_local)
+
+        if order.order_type is OrderType.MARKET:
+            confirmation = self._confirm_market(order, now_local)
+        else:
+            confirmation = self._confirm_limit(order, book, now_local)
+        return MatchResult(
+            confirmation=confirmation,
+            trades=trades,
+            trade_confirmations=trade_confs,
+            stp_cancels=stp_cancels,
+        )
+
+    def _match(
+        self, order: Order, book: LimitOrderBook, now_local: int
+    ) -> Tuple[List[TradeRecord], List[TradeConfirmation], List[Order]]:
+        trades: List[TradeRecord] = []
+        confs: List[TradeConfirmation] = []
+        stp_cancels: List[Order] = []
+        opposite = book.side(order.side.opposite)
+        while order.remaining > 0 and book.crosses(order.side, order.limit_price):
+            level = opposite.best_level()
+            assert level is not None  # crosses() guarantees it
+            resting = level.front()
+            if (
+                self.self_trade_prevention
+                and resting.participant_id == order.participant_id
+            ):
+                level.pop_front()
+                book.forget(resting)
+                stp_cancels.append(resting)
+                self.stp_cancellations += 1
+                continue
+            quantity = min(order.remaining, resting.remaining)
+            price = level.price
+            trade = TradeRecord(
+                trade_id=next(self._trade_ids),
+                symbol=order.symbol,
+                price=price,
+                quantity=quantity,
+                buyer=order.participant_id if order.is_buy else resting.participant_id,
+                seller=resting.participant_id if order.is_buy else order.participant_id,
+                buy_client_order_id=(
+                    order.client_order_id if order.is_buy else resting.client_order_id
+                ),
+                sell_client_order_id=(
+                    resting.client_order_id if order.is_buy else order.client_order_id
+                ),
+                executed_local=now_local,
+                aggressor_is_buy=order.is_buy,
+            )
+            order.fill(quantity)
+            resting.fill(quantity)
+            if resting.is_filled:
+                level.pop_front()
+                book.forget(resting)
+            else:
+                level.reduce(quantity)
+            self.portfolio.apply_trade(trade)
+            self.last_trade_price[order.symbol] = price
+            if self.circuit_breaker is not None:
+                tripped = self.circuit_breaker.on_trade(order.symbol, price, now_local)
+                if tripped:
+                    # The triggering execution stands; the rest of the
+                    # sweep stops with the halt.
+                    trades.append(trade)
+                    confs.append(self._trade_conf(trade, aggressor=order, now_local=now_local))
+                    confs.append(
+                        self._trade_conf(trade, aggressor=None, resting=resting, now_local=now_local)
+                    )
+                    break
+            trades.append(trade)
+            confs.append(self._trade_conf(trade, aggressor=order, now_local=now_local))
+            confs.append(self._trade_conf(trade, aggressor=None, resting=resting, now_local=now_local))
+        return trades, confs, stp_cancels
+
+    def _trade_conf(
+        self,
+        trade: TradeRecord,
+        aggressor: Optional[Order],
+        now_local: int = 0,
+        resting: Optional[Order] = None,
+    ) -> TradeConfirmation:
+        order = aggressor if aggressor is not None else resting
+        assert order is not None
+        return TradeConfirmation(
+            participant_id=order.participant_id,
+            client_order_id=order.client_order_id,
+            trade_id=trade.trade_id,
+            symbol=trade.symbol,
+            is_buy=order.is_buy,
+            quantity=trade.quantity,
+            price=trade.price,
+            engine_timestamp=now_local,
+        )
+
+    def _confirm_market(self, order: Order, now_local: int) -> OrderConfirmation:
+        filled = order.quantity - order.remaining
+        if filled == 0:
+            return self._reject(order, RejectReason.NO_LIQUIDITY, now_local)
+        status = OrderStatus.FILLED if order.is_filled else OrderStatus.PARTIALLY_FILLED
+        return OrderConfirmation(
+            participant_id=order.participant_id,
+            client_order_id=order.client_order_id,
+            symbol=order.symbol,
+            status=status,
+            filled=filled,
+            remaining=0,  # a market remainder never rests
+            engine_timestamp=now_local,
+        )
+
+    def _confirm_limit(
+        self, order: Order, book: LimitOrderBook, now_local: int
+    ) -> OrderConfirmation:
+        filled = order.quantity - order.remaining
+        if order.remaining > 0 and order.time_in_force is TimeInForce.GTC:
+            book.add_resting(order)
+            remaining = order.remaining
+        else:
+            remaining = order.remaining if order.time_in_force is TimeInForce.GTC else 0
+        if order.is_filled:
+            status = OrderStatus.FILLED
+        elif filled > 0:
+            status = OrderStatus.PARTIALLY_FILLED
+        elif order.time_in_force is TimeInForce.IOC:
+            status = OrderStatus.CANCELLED
+        else:
+            status = OrderStatus.ACCEPTED
+        return OrderConfirmation(
+            participant_id=order.participant_id,
+            client_order_id=order.client_order_id,
+            symbol=order.symbol,
+            status=status,
+            filled=filled,
+            remaining=remaining,
+            engine_timestamp=now_local,
+        )
+
+    def _reject(
+        self, order: Order, reason: RejectReason, now_local: int
+    ) -> OrderConfirmation:
+        return OrderConfirmation(
+            participant_id=order.participant_id,
+            client_order_id=order.client_order_id,
+            symbol=order.symbol,
+            status=OrderStatus.REJECTED,
+            filled=order.quantity - order.remaining,
+            remaining=order.remaining,
+            engine_timestamp=now_local,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    # Cancels
+    # ------------------------------------------------------------------
+    def process_cancel(self, cancel: StampedCancel, now_local: int) -> OrderConfirmation:
+        """Cancel a resting order; rejects unknown/filled/foreign orders."""
+        book = self.books.get(cancel.symbol)
+        order = (
+            book.cancel(cancel.participant_id, cancel.client_order_id)
+            if book is not None
+            else None
+        )
+        if order is None:
+            return OrderConfirmation(
+                participant_id=cancel.participant_id,
+                client_order_id=cancel.client_order_id,
+                symbol=cancel.symbol,
+                status=OrderStatus.REJECTED,
+                filled=0,
+                remaining=0,
+                engine_timestamp=now_local,
+                reason=RejectReason.UNKNOWN_ORDER,
+            )
+        return OrderConfirmation(
+            participant_id=cancel.participant_id,
+            client_order_id=cancel.client_order_id,
+            symbol=cancel.symbol,
+            status=OrderStatus.CANCELLED,
+            filled=order.quantity - order.remaining,
+            remaining=order.remaining,
+            engine_timestamp=now_local,
+        )
+
+    # ------------------------------------------------------------------
+    # Market data
+    # ------------------------------------------------------------------
+    def snapshot(self, symbol: Symbol, now_local: int) -> BookSnapshot:
+        """Depth snapshot of one symbol's book."""
+        book = self.books[symbol]
+        bids, asks = book.depth_snapshot(self.snapshot_depth)
+        return BookSnapshot(symbol=symbol, bids=bids, asks=asks, taken_local=now_local)
+
+    def reference_price(self, symbol: Symbol) -> Optional[int]:
+        """Last trade price, falling back to the book midpoint."""
+        last = self.last_trade_price.get(symbol)
+        if last is not None:
+            return last
+        book = self.books[symbol]
+        bid, ask = book.best_bid(), book.best_ask()
+        if bid is not None and ask is not None:
+            return (bid + ask) // 2
+        return bid if bid is not None else ask
+
+    def __repr__(self) -> str:
+        return f"MatchingEngineCore(symbols={len(self.books)}, processed={self.orders_processed})"

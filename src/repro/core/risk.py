@@ -1,0 +1,76 @@
+"""Pre-trade risk checks.
+
+The course deployments ran with unconstrained accounts (students could
+short and lever freely), but a production exchange gates orders on
+risk before they reach the book.  The matching engine consults an
+optional :class:`RiskPolicy` before processing each order; violations
+reject with :attr:`~repro.core.types.RejectReason.RISK_LIMIT` and
+never touch the book.
+
+Checks are evaluated against the *worst case* of the order: a buy is
+assumed to fill completely at its limit price (market buys at the
+reference price), and position limits consider the post-fill absolute
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.order import Order
+from repro.core.portfolio import Account
+from repro.core.types import OrderType, RejectReason
+
+
+class RiskPolicy:
+    """Interface: return a reject reason, or None to admit the order."""
+
+    def check(
+        self, order: Order, account: Account, reference_price: Optional[int]
+    ) -> Optional[RejectReason]:
+        raise NotImplementedError
+
+
+@dataclass
+class UnlimitedRisk(RiskPolicy):
+    """Admit everything -- the course-deployment default."""
+
+    def check(self, order, account, reference_price):
+        return None
+
+
+@dataclass
+class MarginRiskPolicy(RiskPolicy):
+    """Position and notional limits.
+
+    Parameters
+    ----------
+    max_position:
+        Maximum absolute post-fill position per symbol (None = no cap).
+    max_order_notional:
+        Maximum worst-case notional of a single order, in ticks * shares
+        (None = no cap).
+    """
+
+    max_position: Optional[int] = None
+    max_order_notional: Optional[int] = None
+
+    def _worst_case_price(self, order: Order, reference_price: Optional[int]) -> Optional[int]:
+        if order.order_type is OrderType.LIMIT:
+            return order.limit_price
+        return reference_price
+
+    def check(self, order, account, reference_price):
+        if self.max_position is not None:
+            current = account.position(order.symbol)
+            delta = order.quantity if order.is_buy else -order.quantity
+            if abs(current + delta) > self.max_position:
+                return RejectReason.RISK_LIMIT
+        if self.max_order_notional is not None:
+            price = self._worst_case_price(order, reference_price)
+            # Unpriceable market order with a notional cap in force:
+            # reject rather than guess.
+            if price is None or price * order.quantity > self.max_order_notional:
+                return RejectReason.RISK_LIMIT
+        return None

@@ -1,0 +1,73 @@
+"""Replicated Order Submission (ROS): engine-side deduplication.
+
+Paper §3: participants submit replicas of the same order through
+multiple gateways; "the matching engine processes the earliest-arriving
+replica and drops the others."
+
+The participant side of ROS (fanning an order out to ``rf`` gateways)
+lives in :mod:`repro.core.participant`; this module is the engine-side
+dedup table.  Every replica costs ingress CPU whether it wins or loses
+-- "when the RF exceeds 3, latency degrades due to the CPU spending
+more time in discarding duplicates" (Fig. 6a/6b) -- so the table is
+deliberately on the engine's critical ingress path.
+
+Entries are retired after a TTL sweep to bound memory: a replica can
+only arrive within the network's tail latency of its winner, so a
+multi-second TTL is conservative.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.sim.timeunits import SECOND
+
+#: Dedup key: replicas of one order share (participant, client_order_id).
+OrderKey = Tuple[str, int]
+
+
+class RosDeduplicator:
+    """Earliest-replica-wins deduplication table."""
+
+    def __init__(self, ttl_ns: int = 5 * SECOND) -> None:
+        if ttl_ns <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl_ns}")
+        self.ttl_ns = ttl_ns
+        # key -> (winning gateway id, first-arrival local time); ordered
+        # by insertion so TTL expiry pops from the front.
+        self._seen: "OrderedDict[OrderKey, Tuple[str, int]]" = OrderedDict()
+        self.accepted = 0
+        self.duplicates_dropped = 0
+
+    def admit(self, key: OrderKey, gateway_id: str, now_local: int) -> bool:
+        """True for the first replica of an order; False for duplicates."""
+        self._expire(now_local)
+        if key in self._seen:
+            self.duplicates_dropped += 1
+            return False
+        self._seen[key] = (gateway_id, now_local)
+        self.accepted += 1
+        return True
+
+    def winner(self, key: OrderKey) -> Optional[str]:
+        """The gateway whose replica won, if still remembered."""
+        entry = self._seen.get(key)
+        return entry[0] if entry is not None else None
+
+    def _expire(self, now_local: int) -> None:
+        horizon = now_local - self.ttl_ns
+        while self._seen:
+            _, (_, arrived) = next(iter(self._seen.items()))
+            if arrived >= horizon:
+                break
+            self._seen.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"RosDeduplicator(accepted={self.accepted}, "
+            f"duplicates={self.duplicates_dropped}, live={len(self._seen)})"
+        )

@@ -1,0 +1,112 @@
+"""Market surveillance: price-band circuit breakers.
+
+Paper §1 motivates fair-access infrastructure with the "financial
+black swans" of ultrafast trading ([32], [33]); real venues pair that
+infrastructure with *limit-up/limit-down* style circuit breakers that
+halt a symbol when its price moves too far too fast.  The paper's §7
+market-simulator agenda makes this a natural extension: the breaker is
+implemented as pure logic consulted by the matching engine, so halt
+policies can be studied under controlled workloads.
+
+Semantics: for each symbol the breaker keeps the trade price from
+``window_ns`` ago as the reference; when a new trade deviates from the
+reference by more than ``threshold`` (fractional), the symbol is
+halted for ``halt_ns``.  While halted, incoming orders are rejected
+with :attr:`~repro.core.types.RejectReason.SYMBOL_HALTED`; resting
+orders stay in the book, and trading resumes automatically when the
+halt expires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.types import Symbol
+
+
+@dataclass(frozen=True)
+class HaltRecord:
+    """One tripped circuit breaker."""
+
+    symbol: Symbol
+    tripped_at: int
+    resumes_at: int
+    reference_price: int
+    trip_price: int
+
+
+class CircuitBreaker:
+    """Limit-up/limit-down price bands with automatic resumption.
+
+    Parameters
+    ----------
+    threshold:
+        Fractional move that trips the breaker (0.05 = 5%).
+    window_ns:
+        Look-back horizon for the reference price.
+    halt_ns:
+        Halt duration once tripped.
+    """
+
+    def __init__(self, threshold: float, window_ns: int, halt_ns: int) -> None:
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if window_ns <= 0 or halt_ns <= 0:
+            raise ValueError("window and halt duration must be positive")
+        self.threshold = threshold
+        self.window_ns = window_ns
+        self.halt_ns = halt_ns
+        self._prices: Dict[Symbol, Deque[Tuple[int, int]]] = {}
+        self._halted_until: Dict[Symbol, int] = {}
+        self.halts: List[HaltRecord] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_halted(self, symbol: Symbol, now_ns: int) -> bool:
+        until = self._halted_until.get(symbol)
+        return until is not None and now_ns < until
+
+    def reference_price(self, symbol: Symbol, now_ns: int) -> Optional[int]:
+        """The oldest in-window trade price (the band's anchor)."""
+        prices = self._prices.get(symbol)
+        if not prices:
+            return None
+        horizon = now_ns - self.window_ns
+        while len(prices) > 1 and prices[0][0] < horizon:
+            prices.popleft()
+        return prices[0][1]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def on_trade(self, symbol: Symbol, price: int, now_ns: int) -> bool:
+        """Feed one execution; returns True if this trade trips a halt."""
+        reference = self.reference_price(symbol, now_ns)
+        prices = self._prices.setdefault(symbol, deque())
+        prices.append((now_ns, price))
+        if reference is None or self.is_halted(symbol, now_ns):
+            return False
+        if abs(price - reference) <= self.threshold * reference:
+            return False
+        resumes_at = now_ns + self.halt_ns
+        self._halted_until[symbol] = resumes_at
+        self.halts.append(
+            HaltRecord(
+                symbol=symbol,
+                tripped_at=now_ns,
+                resumes_at=resumes_at,
+                reference_price=reference,
+                trip_price=price,
+            )
+        )
+        # The halt resets the band: on resumption the trip price is the
+        # new anchor (otherwise the same move would re-trip instantly).
+        prices.clear()
+        prices.append((now_ns, price))
+        return True
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(threshold={self.threshold:.1%}, halts={len(self.halts)})"

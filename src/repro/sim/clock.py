@@ -1,0 +1,154 @@
+"""Per-host virtual clocks with drift, offset, and discipline.
+
+Every simulated VM owns a :class:`HostClock`.  The clock's *raw* local
+time runs at a slightly wrong rate (drift, parts-per-billion) from a
+slightly wrong starting point (boot offset), exactly like a real
+machine's TSC/system clock.  A clock-synchronization service (Huygens
+or NTP, :mod:`repro.clocksync`) periodically estimates the clock's
+error against the reference and installs a *correction*; the
+*disciplined* time -- what application code reads via
+:meth:`HostClock.now` -- is the raw time minus that correction.
+
+Corrections are linear in raw time (an offset plus a rate), because
+estimating and removing the frequency error is what keeps a clock
+accurate *between* synchronization rounds: a pure offset correction
+with 50 ppm of uncorrected drift would accumulate 100 us of error over
+a 2-second sync interval, drowning the ~159 ns precision the paper
+reports for Huygens.
+
+The gap between disciplined time and true simulation time is the
+*residual synchronization error*, the quantity the paper reports as
+"99th percentile clock offsets average around 159 ns" for Huygens and
+~10 ms for NTP.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Event, Simulator
+
+_BILLION = 1_000_000_000
+
+
+class HostClock:
+    """A drifting, offsettable clock attached to a simulated host.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying true time.
+    drift_ppb:
+        Rate error in parts per billion.  +1000 means the raw clock
+        gains 1 us per second of true time.  Real VM clocks drift on
+        the order of 1e4..1e5 ppb.
+    offset_ns:
+        Initial absolute error at true time zero.
+    """
+
+    def __init__(self, sim: Simulator, drift_ppb: int = 0, offset_ns: int = 0) -> None:
+        self.sim = sim
+        self.drift_ppb = int(drift_ppb)
+        self.offset_ns = int(offset_ns)
+        # Linear correction: disciplined = raw - (corr0 + rate*(raw - ref)).
+        self._corr0_ns: int = 0
+        self._corr_rate_ppb: int = 0
+        self._corr_ref_raw: int = 0
+
+    # ------------------------------------------------------------------
+    # Reading the clock
+    # ------------------------------------------------------------------
+    def true_now(self) -> int:
+        """True simulation time -- not observable by host software."""
+        return self.sim.now
+
+    def raw_local(self, true_time_ns: Optional[int] = None) -> int:
+        """Raw (undisciplined) local time at ``true_time_ns`` (default: now)."""
+        t = self.sim.now if true_time_ns is None else true_time_ns
+        return t + self.offset_ns + (self.drift_ppb * t) // _BILLION
+
+    def _correction_at_raw(self, raw_ns: int) -> int:
+        return self._corr0_ns + (self._corr_rate_ppb * (raw_ns - self._corr_ref_raw)) // _BILLION
+
+    def discipline(self, raw_ns: int) -> int:
+        """Map a raw local timestamp to disciplined local time."""
+        return raw_ns - self._correction_at_raw(raw_ns)
+
+    def now(self) -> int:
+        """Disciplined local time: what ``clock_gettime`` would return."""
+        return self.discipline(self.raw_local())
+
+    def error_ns(self) -> int:
+        """Current residual error of the disciplined clock vs true time."""
+        return self.now() - self.true_now()
+
+    # ------------------------------------------------------------------
+    # Discipline (driven by the clock-sync service)
+    # ------------------------------------------------------------------
+    def set_correction(self, correction_ns: int) -> None:
+        """Install a pure offset correction (clears any rate term)."""
+        self._corr0_ns = int(correction_ns)
+        self._corr_rate_ppb = 0
+        self._corr_ref_raw = self.raw_local()
+
+    def set_linear_correction(self, offset_ns: int, rate_ppb: int, ref_raw_ns: int) -> None:
+        """Install a correction of ``offset_ns`` at raw time ``ref_raw_ns``,
+        growing at ``rate_ppb`` per raw second thereafter."""
+        self._corr0_ns = int(offset_ns)
+        self._corr_rate_ppb = int(rate_ppb)
+        self._corr_ref_raw = int(ref_raw_ns)
+
+    def slew(self, delta_ns: int) -> None:
+        """Adjust the offset term incrementally (NTP-style slewing)."""
+        self._corr0_ns += int(delta_ns)
+
+    @property
+    def correction_ns(self) -> int:
+        """The correction currently applied (at the present instant)."""
+        return self._correction_at_raw(self.raw_local())
+
+    # ------------------------------------------------------------------
+    # Scheduling by local time
+    # ------------------------------------------------------------------
+    def local_to_true(self, local_ns: int) -> int:
+        """Invert the clock map: true instant at which ``now()`` reads
+        ``local_ns``.
+
+        Uses fixed-point iteration; with realistic drifts (<<1e6 ppb)
+        three rounds are exact to the nanosecond.
+        """
+        # Invert discipline: find raw R with R - correction(R) = local.
+        raw = local_ns
+        for _ in range(3):
+            raw = local_ns + self._correction_at_raw(raw)
+        # Invert raw_local: find true t with t + offset + drift*t = raw.
+        t = raw - self.offset_ns
+        for _ in range(3):
+            t = raw - self.offset_ns - (self.drift_ppb * t) // _BILLION
+        return t
+
+    def schedule_at_local(
+        self, local_deadline_ns: int, fn: Callable[..., None], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn`` when this host's disciplined clock reads
+        ``local_deadline_ns``.
+
+        Deadlines already in the host's past fire immediately (at true
+        now) -- mirroring a timer armed with an elapsed deadline.
+        """
+        true_deadline = self.local_to_true(local_deadline_ns)
+        if true_deadline < self.sim.now:
+            true_deadline = self.sim.now
+        return self.sim.schedule_at(true_deadline, fn, *args, priority=priority)
+
+    def schedule_after_local(
+        self, local_delay_ns: int, fn: Callable[..., None], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn`` after ``local_delay_ns`` on this host's clock."""
+        return self.schedule_at_local(self.now() + local_delay_ns, fn, *args, priority=priority)
+
+    def __repr__(self) -> str:
+        return (
+            f"HostClock(drift_ppb={self.drift_ppb}, offset_ns={self.offset_ns}, "
+            f"corr0_ns={self._corr0_ns}, corr_rate_ppb={self._corr_rate_ppb})"
+        )

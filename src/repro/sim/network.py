@@ -1,0 +1,203 @@
+"""Hosts, links, and message delivery.
+
+The network layer plays the role of ZeroMQ-over-cloud in the paper:
+
+- A :class:`Host` is a simulated VM: it has a :class:`HostClock`, a
+  :class:`CpuAccountant`, an up/down flag (gateway crashes, §3), and a
+  bound :class:`~repro.sim.engine.Actor` that receives messages.
+- A :class:`Link` is a unidirectional transport between two hosts with
+  a :class:`~repro.sim.latency.LatencyModel`.  Links are FIFO by
+  default (ZeroMQ runs over TCP, which never reorders within a
+  connection); *cross-link* reordering -- the source of inbound
+  unfairness -- arises naturally because different links sample
+  different delays.
+- The :class:`Network` owns hosts and links and offers ``send``.
+
+Messages delivered to a downed host are counted and dropped, never
+raised: crash behaviour is data, not an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.sim.clock import HostClock
+from repro.sim.cpu import CpuAccountant
+from repro.sim.engine import Actor, Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class Message:
+    """A payload in flight, with transport metadata for metrics."""
+
+    payload: Any
+    src: str
+    dst: str
+    sent_at: int
+    delivered_at: int = -1
+
+
+class Host:
+    """A simulated VM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        clock: HostClock,
+        baseline_cores: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.cpu = CpuAccountant(baseline_cores=baseline_cores)
+        self.actor: Optional[Actor] = None
+        self.up: bool = True
+        self.dropped_while_down: int = 0
+
+    def bind(self, actor: Actor) -> None:
+        """Attach the actor that handles this host's inbound messages."""
+        if self.actor is not None and self.actor is not actor:
+            raise ValueError(f"host {self.name!r} is already bound to {self.actor!r}")
+        self.actor = actor
+
+    def crash(self) -> None:
+        """Take the host down; in-flight and future messages are dropped."""
+        self.up = False
+
+    def restart(self) -> None:
+        """Bring the host back up.  Messages sent while down stay lost."""
+        self.up = True
+
+    def deliver(self, message: Message) -> None:
+        """Hand a just-arrived message to the bound actor."""
+        if not self.up:
+            self.dropped_while_down += 1
+            return
+        if self.actor is None:
+            raise RuntimeError(f"host {self.name!r} has no bound actor for {message.payload!r}")
+        message.delivered_at = self.sim.now
+        self.actor.on_message(message.payload, message.src)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"Host({self.name!r}, {state})"
+
+
+class Link:
+    """A unidirectional, latency-sampling, optionally-FIFO transport."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        latency: LatencyModel,
+        rngs: RngRegistry,
+        fifo: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.fifo = fifo
+        self.rng = rngs.stream(f"link:{src.name}->{dst.name}")
+        self._last_arrival: int = -1
+        self.messages_sent: int = 0
+        self.total_delay_ns: int = 0
+
+    def send(self, payload: Any) -> Message:
+        """Sample a delay and schedule delivery at the destination."""
+        now = self.sim.now
+        delay = self.latency.sample(self.rng, now)
+        arrival = now + delay
+        if self.fifo and arrival <= self._last_arrival:
+            arrival = self._last_arrival + 1
+        self._last_arrival = arrival
+        message = Message(payload=payload, src=self.src.name, dst=self.dst.name, sent_at=now)
+        self.messages_sent += 1
+        self.total_delay_ns += arrival - now
+        self.sim.schedule_at(arrival, self.dst.deliver, message)
+        return message
+
+    def mean_delay_us(self) -> float:
+        """Average observed one-way delay, in microseconds."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_delay_ns / self.messages_sent / 1_000
+
+    def __repr__(self) -> str:
+        return f"Link({self.src.name}->{self.dst.name}, {self.latency!r})"
+
+
+class Network:
+    """The fabric: a registry of hosts and directed links."""
+
+    def __init__(self, sim: Simulator, rngs: RngRegistry) -> None:
+        self.sim = sim
+        self.rngs = rngs
+        self.hosts: Dict[str, Host] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+    def add_host(
+        self,
+        name: str,
+        drift_ppb: int = 0,
+        offset_ns: int = 0,
+        baseline_cores: float = 0.0,
+    ) -> Host:
+        """Create and register a host with its own (possibly wrong) clock."""
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        clock = HostClock(self.sim, drift_ppb=drift_ppb, offset_ns=offset_ns)
+        host = Host(self.sim, name, clock, baseline_cores=baseline_cores)
+        self.hosts[name] = host
+        return host
+
+    def connect(self, src: str, dst: str, latency: LatencyModel, fifo: bool = True) -> Link:
+        """Create the directed link src -> dst.  One link per pair."""
+        key = (src, dst)
+        if key in self.links:
+            raise ValueError(f"link {src}->{dst} already exists")
+        link = Link(self.sim, self.hosts[src], self.hosts[dst], latency, self.rngs, fifo=fifo)
+        self.links[key] = link
+        return link
+
+    def connect_bidirectional(
+        self, a: str, b: str, latency: LatencyModel, fifo: bool = True
+    ) -> Tuple[Link, Link]:
+        """Create both directions with the same latency model (independent draws)."""
+        return (
+            self.connect(a, b, latency, fifo=fifo),
+            self.connect(b, a, latency, fifo=fifo),
+        )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def link(self, src: str, dst: str) -> Link:
+        """Look up the directed link src -> dst."""
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src}->{dst}; call connect() first") from None
+
+    def send(self, src: str, dst: str, payload: Any) -> Message:
+        """Send ``payload`` from ``src`` to ``dst`` over their link."""
+        return self.link(src, dst).send(payload)
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"Network(hosts={len(self.hosts)}, links={len(self.links)})"

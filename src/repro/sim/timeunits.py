@@ -1,0 +1,50 @@
+"""Time unit constants and helpers.
+
+All simulation timestamps are integers counting nanoseconds since the
+start of the simulation.  Integer time keeps event ordering exact and
+runs deterministic -- there is no floating-point rounding anywhere in
+time arithmetic, which matters when the phenomena under study (clock
+offsets, fairness violations) live at the 100 ns .. 100 us scale.
+"""
+
+from __future__ import annotations
+
+NANOSECOND: int = 1
+MICROSECOND: int = 1_000
+MILLISECOND: int = 1_000_000
+SECOND: int = 1_000_000_000
+
+
+def ns(value: float) -> int:
+    """Convert a value in nanoseconds to integer nanoseconds."""
+    return int(round(value))
+
+
+def us(value: float) -> int:
+    """Convert a value in microseconds to integer nanoseconds."""
+    return int(round(value * MICROSECOND))
+
+
+def ms(value: float) -> int:
+    """Convert a value in milliseconds to integer nanoseconds."""
+    return int(round(value * MILLISECOND))
+
+
+def seconds(value: float) -> int:
+    """Convert a value in seconds to integer nanoseconds."""
+    return int(round(value * SECOND))
+
+
+def to_us(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) microseconds."""
+    return value_ns / MICROSECOND
+
+
+def to_ms(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) milliseconds."""
+    return value_ns / MILLISECOND
+
+
+def to_seconds(value_ns: int) -> float:
+    """Convert integer nanoseconds to (float) seconds."""
+    return value_ns / SECOND

@@ -1,0 +1,91 @@
+"""Strategy interface and the Poisson order-flow driver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.participant import Participant
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import SECOND
+
+
+class Strategy:
+    """Base class for trading strategies.
+
+    A strategy is attached to a :class:`~repro.core.participant.Participant`
+    and driven from two directions: the participant forwards exchange
+    events (confirmations, trades, market data), and a
+    :class:`TradingAgent` calls :meth:`on_order_opportunity` at Poisson
+    times to generate outbound flow.
+    """
+
+    def on_start(self, participant: Participant) -> None:
+        """Called once before trading begins (subscribe, seed state)."""
+
+    def on_order_opportunity(self, participant: Participant, rng: np.random.Generator) -> None:
+        """Called at each order-arrival instant; place orders here."""
+
+    def on_market_data(self, participant: Participant, delivery) -> None:
+        """Called on every released market-data delivery."""
+
+    def on_confirmation(self, participant: Participant, confirmation) -> None:
+        """Called on every order confirmation."""
+
+    def on_trade(self, participant: Participant, trade_confirmation) -> None:
+        """Called on every trade confirmation (a fill on our order)."""
+
+
+class TradingAgent:
+    """Drives one participant's strategy with Poisson order arrivals.
+
+    Inter-opportunity gaps are exponential with mean ``1/rate``, the
+    standard order-flow model and what "each market participant
+    submits around 450 orders/s on average" (paper §4) implies.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        participant: Participant,
+        strategy: Strategy,
+        rate_per_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"order rate must be positive, got {rate_per_s}")
+        self.sim = sim
+        self.participant = participant
+        self.strategy = strategy
+        self.rate_per_s = rate_per_s
+        self.rng = rng
+        self.opportunities = 0
+        self._running = False
+        participant.strategy = strategy
+
+    def start(self, delay_ns: int = 0) -> None:
+        """Begin generating flow after ``delay_ns``."""
+        if self._running:
+            return
+        self._running = True
+        self.strategy.on_start(self.participant)
+        self.sim.schedule(delay_ns + self._next_gap(), self._tick)
+
+    def stop(self) -> None:
+        """Stop after the currently scheduled opportunity."""
+        self._running = False
+
+    def _next_gap(self) -> int:
+        return max(1, int(self.rng.exponential(SECOND / self.rate_per_s)))
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.opportunities += 1
+        self.strategy.on_order_opportunity(self.participant, self.rng)
+        self.sim.schedule(self._next_gap(), self._tick)
+
+    def __repr__(self) -> str:
+        return (
+            f"TradingAgent({self.participant.name!r}, rate={self.rate_per_s}/s, "
+            f"opportunities={self.opportunities})"
+        )

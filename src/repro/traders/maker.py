@@ -1,0 +1,70 @@
+"""A simple spread-quoting market maker.
+
+Keeps a two-sided quote around each symbol's reference price,
+refreshing (cancel + re-quote) one symbol per opportunity.  Useful in
+examples and integration tests to guarantee standing liquidity for
+market orders.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.participant import Participant
+from repro.core.types import Side, Symbol
+from repro.traders.base import Strategy
+
+
+class MarketMakerStrategy(Strategy):
+    """Quote ``quantity`` at ``reference +- half_spread_ticks``.
+
+    Parameters
+    ----------
+    symbols:
+        Symbols to make markets in (round-robin refresh).
+    fallback_price:
+        Reference before any market data arrives.
+    half_spread_ticks:
+        Distance of each quote from the reference price.
+    quantity:
+        Shares per quote.
+    """
+
+    def __init__(
+        self,
+        symbols: Sequence[Symbol],
+        fallback_price: int,
+        half_spread_ticks: int = 5,
+        quantity: int = 100,
+    ) -> None:
+        if not symbols:
+            raise ValueError("market maker needs at least one symbol")
+        if half_spread_ticks < 1:
+            raise ValueError(f"half spread must be >= 1 tick, got {half_spread_ticks}")
+        self.symbols: List[Symbol] = list(symbols)
+        self.fallback_price = fallback_price
+        self.half_spread_ticks = half_spread_ticks
+        self.quantity = quantity
+        self._cursor = 0
+        # symbol -> (bid client id, ask client id) of the live quotes.
+        self._quotes: Dict[Symbol, Tuple[Optional[int], Optional[int]]] = {}
+
+    def on_start(self, participant: Participant) -> None:
+        participant.subscribe(self.symbols)
+
+    def on_order_opportunity(self, participant: Participant, rng: np.random.Generator) -> None:
+        symbol = self.symbols[self._cursor % len(self.symbols)]
+        self._cursor += 1
+        # Pull the previous quotes (if still working).
+        old_bid, old_ask = self._quotes.get(symbol, (None, None))
+        for client_order_id in (old_bid, old_ask):
+            if client_order_id is not None and client_order_id in participant.working:
+                participant.cancel(client_order_id, symbol)
+        reference = participant.view(symbol).reference_price or self.fallback_price
+        bid_price = max(1, reference - self.half_spread_ticks)
+        ask_price = reference + self.half_spread_ticks
+        bid_id = participant.submit_limit(symbol, Side.BUY, self.quantity, bid_price)
+        ask_id = participant.submit_limit(symbol, Side.SELL, self.quantity, ask_price)
+        self._quotes[symbol] = (bid_id, ask_id)

@@ -1,0 +1,87 @@
+"""A momentum (trend-following) strategy.
+
+Tracks a short window of trade prices per symbol from the market-data
+feed; when the window shows a consistent move it takes the trend with
+a marketable limit order.  Included as the kind of simple signal-based
+algorithm the course students built, and used by the trading
+competition example.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.marketdata import TradeRecord
+from repro.core.participant import Participant
+from repro.core.types import Side, Symbol
+from repro.traders.base import Strategy
+
+
+class MomentumStrategy(Strategy):
+    """Buy rising symbols, sell falling ones.
+
+    Parameters
+    ----------
+    symbols:
+        Universe to watch and trade.
+    window:
+        Number of recent trade prices per symbol to consider.
+    threshold_ticks:
+        Minimum (last - first) move within the window to act on.
+    quantity:
+        Shares per momentum trade.
+    aggression_ticks:
+        How far through the touch the marketable limit is priced.
+    """
+
+    def __init__(
+        self,
+        symbols: Sequence[Symbol],
+        window: int = 8,
+        threshold_ticks: int = 4,
+        quantity: int = 10,
+        aggression_ticks: int = 3,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.symbols: List[Symbol] = list(symbols)
+        self.window = window
+        self.threshold_ticks = threshold_ticks
+        self.quantity = quantity
+        self.aggression_ticks = aggression_ticks
+        self._prices: Dict[Symbol, Deque[int]] = {s: deque(maxlen=window) for s in self.symbols}
+
+    def on_start(self, participant: Participant) -> None:
+        participant.subscribe(self.symbols)
+
+    def on_market_data(self, participant: Participant, delivery) -> None:
+        payload = delivery.piece.payload
+        if isinstance(payload, TradeRecord) and payload.symbol in self._prices:
+            self._prices[payload.symbol].append(payload.price)
+
+    def signal(self, symbol: Symbol) -> int:
+        """Window move in ticks (positive = rising); 0 if not enough data."""
+        prices = self._prices[symbol]
+        if len(prices) < self.window:
+            return 0
+        return prices[-1] - prices[0]
+
+    def on_order_opportunity(self, participant: Participant, rng: np.random.Generator) -> None:
+        symbol = self.symbols[int(rng.integers(len(self.symbols)))]
+        move = self.signal(symbol)
+        if abs(move) < self.threshold_ticks:
+            return
+        reference = participant.view(symbol).reference_price
+        if reference is None:
+            return
+        if move > 0:
+            participant.submit_limit(
+                symbol, Side.BUY, self.quantity, reference + self.aggression_ticks
+            )
+        else:
+            participant.submit_limit(
+                symbol, Side.SELL, self.quantity, max(1, reference - self.aggression_ticks)
+            )

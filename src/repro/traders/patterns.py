@@ -1,0 +1,90 @@
+"""Pattern bots: drive a symbol's price along a target trajectory.
+
+Paper §3, first course deployment: "For each symbol we initiated
+trading bots to place trades to induce specific price-time patterns on
+which students could engineer algorithms."  A pattern bot quotes
+aggressively toward a time-varying target price, dragging the traded
+price along a sine wave, trend line, or any custom trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+import numpy as np
+
+from repro.core.participant import Participant
+from repro.core.types import Side, Symbol
+from repro.sim.timeunits import SECOND
+from repro.traders.base import Strategy
+
+#: A target trajectory: simulation-local time (ns) -> price (ticks).
+TargetFn = Callable[[int], int]
+
+
+def sine_target(base_price: int, amplitude_ticks: int, period_s: float) -> TargetFn:
+    """A sinusoidal price pattern around ``base_price``."""
+    if period_s <= 0:
+        raise ValueError(f"period must be positive, got {period_s}")
+    period_ns = period_s * SECOND
+
+    def target(now_ns: int) -> int:
+        phase = 2.0 * math.pi * (now_ns % period_ns) / period_ns
+        return max(1, base_price + int(round(amplitude_ticks * math.sin(phase))))
+
+    return target
+
+
+def trend_target(base_price: int, ticks_per_s: float) -> TargetFn:
+    """A linear drift starting at ``base_price``."""
+
+    def target(now_ns: int) -> int:
+        return max(1, base_price + int(round(ticks_per_s * now_ns / SECOND)))
+
+    return target
+
+
+class PatternBotStrategy(Strategy):
+    """Pull one symbol's price toward ``target_fn(now)``.
+
+    Each opportunity, if the reference price is below (above) the
+    target, the bot lifts (hits) the market with a marketable limit
+    priced at the target, and refreshes passive depth a tick away so
+    other traders always find liquidity near the pattern.
+    """
+
+    def __init__(
+        self,
+        symbol: Symbol,
+        target_fn: TargetFn,
+        quantity: int = 25,
+        depth_quantity: int = 200,
+    ) -> None:
+        self.symbol = symbol
+        self.target_fn = target_fn
+        self.quantity = quantity
+        self.depth_quantity = depth_quantity
+        self._depth_orders: List[int] = []
+
+    def on_start(self, participant: Participant) -> None:
+        participant.subscribe([self.symbol])
+
+    def on_order_opportunity(self, participant: Participant, rng: np.random.Generator) -> None:
+        now_local = participant.host.clock.now()
+        target = self.target_fn(now_local)
+        reference = participant.view(self.symbol).reference_price or target
+        if reference < target:
+            participant.submit_limit(self.symbol, Side.BUY, self.quantity, target)
+        elif reference > target:
+            participant.submit_limit(self.symbol, Side.SELL, self.quantity, max(1, target))
+        # Refresh passive depth bracketing the target.
+        for client_order_id in self._depth_orders:
+            if client_order_id in participant.working:
+                participant.cancel(client_order_id, self.symbol)
+        self._depth_orders = [
+            participant.submit_limit(
+                self.symbol, Side.BUY, self.depth_quantity, max(1, target - 2)
+            ),
+            participant.submit_limit(self.symbol, Side.SELL, self.depth_quantity, target + 2),
+        ]

@@ -1,0 +1,80 @@
+"""Workload assembly helpers.
+
+Functions for attaching strategy-driven Poisson order flow to a set of
+participants -- the glue between :mod:`repro.core.cluster` and the
+strategies in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.core.participant import Participant
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.traders.base import Strategy, TradingAgent
+
+#: Builds a strategy for one participant: (participant index, its symbols) -> Strategy.
+StrategyFactory = Callable[[int, Sequence[str]], Strategy]
+
+
+def split_symbols(
+    symbols: Sequence[str],
+    n_participants: int,
+    per_participant: int,
+    rngs: RngRegistry,
+) -> List[List[str]]:
+    """Deterministically assign each participant a symbol subset.
+
+    Every symbol gets at least one subscriber before any symbol gets a
+    second (round-robin base assignment), then remaining slots are
+    filled randomly -- so market data flows for the whole universe
+    while each participant works a small book.
+    """
+    if per_participant < 1:
+        raise ValueError(f"need at least one symbol per participant, got {per_participant}")
+    if per_participant > len(symbols):
+        raise ValueError(
+            f"per_participant={per_participant} exceeds symbol universe {len(symbols)}"
+        )
+    rng = rngs.stream("workload:symbol-split")
+    assignments: List[List[str]] = []
+    for index in range(n_participants):
+        chosen = {symbols[(index * per_participant + k) % len(symbols)] for k in range(per_participant)}
+        while len(chosen) < per_participant:
+            chosen.add(symbols[int(rng.integers(len(symbols)))])
+        assignments.append(sorted(chosen))
+    return assignments
+
+
+def attach_agents(
+    sim: Simulator,
+    rngs: RngRegistry,
+    participants: Sequence[Participant],
+    strategy_factory: StrategyFactory,
+    symbol_assignments: Sequence[Sequence[str]],
+    rate_per_s: float,
+    start_delay_ns: int = 0,
+) -> List[TradingAgent]:
+    """Create and start one agent per participant.
+
+    Each agent gets its own named random stream, so adding or removing
+    one participant never changes another's order flow.
+    """
+    if len(symbol_assignments) != len(participants):
+        raise ValueError(
+            f"{len(participants)} participants but {len(symbol_assignments)} symbol assignments"
+        )
+    agents: List[TradingAgent] = []
+    for index, participant in enumerate(participants):
+        strategy = strategy_factory(index, symbol_assignments[index])
+        agent = TradingAgent(
+            sim=sim,
+            participant=participant,
+            strategy=strategy,
+            rate_per_s=rate_per_s,
+            rng=rngs.stream(f"trader:{participant.name}"),
+        )
+        agent.start(delay_ns=start_delay_ns)
+        agents.append(agent)
+    return agents

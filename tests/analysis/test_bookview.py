@@ -1,0 +1,71 @@
+"""Tests for the ASCII book renderer."""
+
+import pytest
+
+from repro.analysis.bookview import render_book
+from repro.core.book import LimitOrderBook
+from repro.core.marketdata import BookSnapshot
+from repro.core.order import Order
+from repro.core.types import OrderType, Side
+
+
+def resting(coid, side, price, qty):
+    return Order(
+        client_order_id=coid,
+        participant_id="p",
+        symbol="S",
+        side=side,
+        order_type=OrderType.LIMIT,
+        quantity=qty,
+        limit_price=price,
+        gateway_id="g",
+        gateway_timestamp=coid,
+        gateway_seq=coid,
+    )
+
+
+class TestRenderBook:
+    def test_layout_asks_above_bids(self):
+        book = LimitOrderBook("S")
+        book.add_resting(resting(1, Side.BUY, 9_900, 50))
+        book.add_resting(resting(2, Side.SELL, 10_100, 30))
+        text = render_book(book)
+        lines = text.splitlines()
+        assert lines[0].startswith("  ask")
+        assert "spread 2.00" in lines[1]
+        assert lines[2].startswith("  bid")
+
+    def test_prices_in_currency(self):
+        book = LimitOrderBook("S")
+        book.add_resting(resting(1, Side.BUY, 9_950, 10))
+        assert "99.50" in render_book(book)
+
+    def test_bar_scales_with_volume(self):
+        book = LimitOrderBook("S")
+        book.add_resting(resting(1, Side.BUY, 9_900, 100))
+        book.add_resting(resting(2, Side.BUY, 9_800, 10))
+        lines = render_book(book, width=20).splitlines()
+        big = lines[0].count("#")
+        small = lines[1].count("#")
+        assert big > small >= 1
+
+    def test_empty_book(self):
+        assert "(empty book)" in render_book(LimitOrderBook("S"))
+
+    def test_snapshot_input(self):
+        snapshot = BookSnapshot(
+            symbol="S", bids=((9_900, 10),), asks=((10_000, 20),), taken_local=0
+        )
+        text = render_book(snapshot)
+        assert "spread 1.00" in text
+
+    def test_levels_limit(self):
+        book = LimitOrderBook("S")
+        for i in range(10):
+            book.add_resting(resting(i, Side.BUY, 9_900 - i, 10))
+        lines = render_book(book, levels=3).splitlines()
+        assert len([l for l in lines if l.startswith("  bid")]) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_book(LimitOrderBook("S"), levels=0)

@@ -1,0 +1,88 @@
+"""Tests for OHLCV candle aggregation."""
+
+import pytest
+
+from repro.analysis.candles import Candle, candles_from_trades
+from repro.core.marketdata import TradeRecord
+
+
+def trade(executed, price, qty=10):
+    return TradeRecord(
+        trade_id=executed,
+        symbol="S",
+        price=price,
+        quantity=qty,
+        buyer="b",
+        seller="s",
+        buy_client_order_id=1,
+        sell_client_order_id=2,
+        executed_local=executed,
+        aggressor_is_buy=True,
+    )
+
+
+class TestAggregation:
+    def test_single_bar_ohlc(self):
+        trades = [trade(10, 100), trade(20, 105), trade(30, 95), trade(40, 102)]
+        bars = candles_from_trades(trades, interval_ns=100)
+        assert len(bars) == 1
+        bar = bars[0]
+        assert (bar.open, bar.high, bar.low, bar.close) == (100, 105, 95, 102)
+        assert bar.volume == 40
+        assert bar.start_ns == 0 and bar.end_ns == 100
+
+    def test_bar_boundaries_aligned(self):
+        trades = [trade(95, 100), trade(100, 200)]
+        bars = candles_from_trades(trades, interval_ns=100)
+        assert [b.start_ns for b in bars] == [0, 100]
+
+    def test_vwap(self):
+        trades = [trade(10, 100, qty=10), trade(20, 200, qty=30)]
+        bar = candles_from_trades(trades, interval_ns=100)[0]
+        assert bar.vwap == pytest.approx((100 * 10 + 200 * 30) / 40)
+
+    def test_gap_filling(self):
+        trades = [trade(50, 100), trade(350, 120)]
+        bars = candles_from_trades(trades, interval_ns=100, fill_gaps=True)
+        assert [b.start_ns for b in bars] == [0, 100, 200, 300]
+        gap = bars[1]
+        assert gap.volume == 0
+        assert gap.open == gap.close == 100  # carries previous close
+
+    def test_no_gap_filling_by_default(self):
+        trades = [trade(50, 100), trade(350, 120)]
+        bars = candles_from_trades(trades, interval_ns=100)
+        assert len(bars) == 2
+
+    def test_empty_tape(self):
+        assert candles_from_trades([], interval_ns=100) == []
+
+    def test_is_up_flag(self):
+        up = candles_from_trades([trade(1, 100), trade(2, 110)], 100)[0]
+        down = candles_from_trades([trade(1, 110), trade(2, 100)], 100)[0]
+        assert up.is_up and not down.is_up
+
+    def test_out_of_order_rejected(self):
+        with pytest.raises(ValueError):
+            candles_from_trades([trade(100, 1), trade(50, 1)], interval_ns=10)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            candles_from_trades([], interval_ns=0)
+
+
+class TestEndToEnd:
+    def test_candles_from_cluster_tape(self):
+        from repro.core.cluster import CloudExCluster
+        from tests.conftest import small_config
+
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        cluster.add_default_workload(rate_per_participant=200.0)
+        cluster.run(duration_s=1.0)
+        tape = cluster.history.trades("SYM000")
+        bars = candles_from_trades(tape, interval_ns=250_000_000)
+        assert bars
+        assert sum(b.volume for b in bars) == sum(t.quantity for t in tape)
+        for bar in bars:
+            assert bar.low <= bar.open <= bar.high
+            assert bar.low <= bar.close <= bar.high

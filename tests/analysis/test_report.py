@@ -1,0 +1,41 @@
+"""Tests for the run report."""
+
+import pytest
+
+from repro.analysis.report import summarize_run
+from repro.core.cluster import CloudExCluster
+from tests.conftest import small_config
+
+
+class TestSummarizeRun:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        cluster = CloudExCluster(small_config())
+        cluster.add_default_workload(rate_per_participant=150.0)
+        cluster.run(duration_s=0.5)
+        return cluster
+
+    def test_contains_all_sections(self, cluster):
+        report = summarize_run(cluster)
+        for needle in (
+            "CloudEx run",
+            "orders matched",
+            "submission",
+            "end-to-end",
+            "inbound (orders)",
+            "outbound (market data)",
+            "clock sync (huygens)",
+            "matching engine",
+        ):
+            assert needle in report, f"missing section: {needle}"
+
+    def test_reflects_topology(self, cluster):
+        report = summarize_run(cluster)
+        config = cluster.config
+        assert f"{config.n_participants} participants" in report
+        assert f"{config.n_gateways} gateways" in report
+
+    def test_no_sync_mode_reported(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        cluster.run(duration_s=0.05)
+        assert "clock sync: disabled" in summarize_run(cluster)

@@ -1,0 +1,51 @@
+"""Tests for analysis statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import describe_ns, percentile, trimmed_mean
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds(self):
+        data = list(range(100))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestTrimmedMean:
+    def test_outliers_removed(self):
+        data = [10.0] * 98 + [0.0, 10_000.0]
+        assert trimmed_mean(data, 0.01) == pytest.approx(10.0)
+
+    def test_zero_trim_is_mean(self):
+        assert trimmed_mean([1, 2, 3], 0.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([], 0.1)
+        with pytest.raises(ValueError):
+            trimmed_mean([1], 0.5)
+
+
+class TestDescribe:
+    def test_keys_and_units(self):
+        stats = describe_ns([1_000, 2_000, 3_000])
+        assert stats["count"] == 3
+        assert stats["mean_us"] == pytest.approx(2.0)
+        assert stats["p50_us"] == pytest.approx(2.0)
+        assert stats["max_us"] == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            describe_ns([])

@@ -1,0 +1,33 @@
+"""Tests for table/series rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table, render_series
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert lines[2].split() == ["1", "2"]
+        assert lines[3].split() == ["333", "4"]
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_doctest_example(self):
+        expected = "a   b\n--  ---\n1   2.5\n30  4"
+        assert format_table(["a", "b"], [[1, 2.5], [30, 4]]) == expected
+
+
+class TestRenderSeries:
+    def test_header_and_points(self):
+        text = render_series("Fig", [(1, 2.5), (2, 3.5)], "x", "y")
+        lines = text.splitlines()
+        assert lines[0] == "# Fig"
+        assert lines[1] == "# x -> y"
+        assert lines[2] == "1\t2.5"
+        assert len(lines) == 4

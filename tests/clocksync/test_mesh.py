@@ -1,0 +1,90 @@
+"""Tests for the Huygens network effect (mesh mode)."""
+
+import numpy as np
+import pytest
+
+from repro.clocksync.service import ClockSyncService
+from repro.sim.engine import Simulator
+from repro.sim.latency import cloud_link
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.timeunits import SECOND
+
+
+def build(mesh: bool, n_clients: int = 6, seed: int = 3):
+    sim = Simulator()
+    rngs = RngRegistry(seed)
+    network = Network(sim, rngs)
+    reference = network.add_host("engine")
+    clock_rng = rngs.stream("clocks")
+    clients = []
+    for i in range(n_clients):
+        client = network.add_host(
+            f"g{i:02d}",
+            drift_ppb=int(clock_rng.integers(-50_000, 50_001)),
+            offset_ns=int(clock_rng.integers(-5_000_000, 5_000_001)),
+        )
+        network.connect_bidirectional(
+            "engine", client.name, cloud_link(178, 0.7, 92.0, 0.006, 5)
+        )
+        clients.append(client)
+    service = ClockSyncService(
+        sim,
+        network,
+        reference,
+        clients,
+        rngs,
+        use_coded_filter=False,
+        use_mesh=mesh,
+        mesh_latency=cloud_link(120, 0.7, 60.0, 0.006, 5),
+    )
+    return sim, service, clients
+
+
+def steady_errors(service, clients, skip=200):
+    return np.abs(
+        np.concatenate([service._state[c.name].error_samples_ns[skip:] for c in clients])
+    )
+
+
+class TestMeshMode:
+    def test_mesh_converges_all_clients(self):
+        sim, service, clients = build(mesh=True)
+        service.warm_start(3)
+        service.start()
+        sim.run(until=5 * SECOND)
+        for client in clients:
+            assert abs(client.clock.error_ns()) < 3_000
+            assert service.estimates_for(client.name)
+
+    def test_mesh_improves_the_error_tail(self):
+        """The network effect: mesh redundancy averages out the bad
+        pairwise windows that dominate p99."""
+        results = {}
+        for mesh in (False, True):
+            sim, service, clients = build(mesh=mesh, seed=11)
+            service.warm_start(3)
+            service.start()
+            sim.run(until=12 * SECOND)
+            results[mesh] = float(np.percentile(steady_errors(service, clients), 99))
+        assert results[True] < results[False]
+
+    def test_mesh_skips_down_clients(self):
+        sim, service, clients = build(mesh=True, n_clients=3)
+        service.warm_start(2)
+        service.start()
+        clients[0].crash()
+        before = len(service.estimates_for(clients[0].name))
+        sim.run(until=3 * SECOND)
+        assert len(service.estimates_for(clients[0].name)) == before
+        assert len(service.estimates_for(clients[1].name)) > 0
+
+    def test_cluster_mesh_flag(self):
+        from repro.core.cluster import CloudExCluster
+        from tests.conftest import small_config
+
+        cluster = CloudExCluster(small_config(sync_use_mesh=True))
+        assert cluster.clock_sync.use_mesh
+        cluster.run(duration_s=0.1)
+        for host in cluster.gateway_hosts:
+            assert abs(host.clock.error_ns()) < 100_000

@@ -1,0 +1,61 @@
+"""Tests for probe records and the coded-probe filter."""
+
+import pytest
+
+from repro.clocksync.probes import ProbeExchange, coded_probe_filter
+
+
+def pair(tx_spacing, rx_spacing, base=0):
+    first = ProbeExchange(sent_local=base, recv_local=base + 100, sent_true=base)
+    second = ProbeExchange(
+        sent_local=base + tx_spacing,
+        recv_local=base + 100 + rx_spacing,
+        sent_true=base + tx_spacing,
+    )
+    return first, second
+
+
+class TestProbeExchange:
+    def test_difference(self):
+        probe = ProbeExchange(sent_local=10, recv_local=150, sent_true=10)
+        assert probe.difference == 140
+
+    def test_frozen(self):
+        probe = ProbeExchange(1, 2, 3)
+        with pytest.raises(AttributeError):
+            probe.sent_local = 5  # type: ignore[misc]
+
+
+class TestCodedProbeFilter:
+    def test_clean_pair_survives(self):
+        survivors = coded_probe_filter([pair(1_000, 1_000)], spacing_tolerance_ns=50)
+        assert len(survivors) == 1
+
+    def test_spread_pair_dropped(self):
+        survivors = coded_probe_filter([pair(1_000, 5_000)], spacing_tolerance_ns=50)
+        assert survivors == []
+
+    def test_compressed_pair_dropped(self):
+        survivors = coded_probe_filter([pair(1_000, 100)], spacing_tolerance_ns=50)
+        assert survivors == []
+
+    def test_tolerance_boundary_inclusive(self):
+        survivors = coded_probe_filter([pair(1_000, 1_050)], spacing_tolerance_ns=50)
+        assert len(survivors) == 1
+
+    def test_first_probe_returned(self):
+        first, second = pair(1_000, 1_000)
+        survivors = coded_probe_filter([(first, second)], spacing_tolerance_ns=50)
+        assert survivors[0] is first
+
+    def test_order_preserved(self):
+        pairs = [pair(1_000, 1_000, base=i * 10_000) for i in range(5)]
+        survivors = coded_probe_filter(pairs, spacing_tolerance_ns=50)
+        assert [s.sent_local for s in survivors] == [0, 10_000, 20_000, 30_000, 40_000]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            coded_probe_filter([], spacing_tolerance_ns=-1)
+
+    def test_empty_input(self):
+        assert coded_probe_filter([], spacing_tolerance_ns=10) == []

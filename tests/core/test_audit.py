@@ -1,0 +1,122 @@
+"""Tests for the order-event audit trail."""
+
+import pytest
+
+from repro.core import audit as audit_events
+from repro.core.audit import AuditEvent, AuditTrail
+from repro.core.cluster import CloudExCluster
+from repro.core.types import Side
+from tests.conftest import small_config
+
+
+def event(participant="p1", coid=1, kind=audit_events.STAMPED, ts=100, detail=""):
+    return AuditEvent(
+        participant_id=participant,
+        client_order_id=coid,
+        kind=kind,
+        timestamp_ns=ts,
+        detail=detail,
+    )
+
+
+class TestAuditTrail:
+    def test_record_and_reconstruct(self):
+        trail = AuditTrail()
+        trail.record(event(kind=audit_events.STAMPED, ts=10))
+        trail.record(event(kind=audit_events.SEQUENCED, ts=20))
+        trail.record(event(kind=audit_events.ACCEPTED, ts=30))
+        events = trail.events_for_order("p1", 1)
+        assert [e.kind for e in events] == ["stamped", "sequenced", "accepted"]
+        assert [e.timestamp_ns for e in events] == [10, 20, 30]
+
+    def test_events_isolated_per_order(self):
+        trail = AuditTrail()
+        trail.record(event(coid=1, ts=10))
+        trail.record(event(coid=2, ts=20))
+        assert len(trail.events_for_order("p1", 1)) == 1
+        assert len(trail.events_for_order("p1", 2)) == 1
+
+    def test_events_for_participant(self):
+        trail = AuditTrail()
+        trail.record(event(participant="p1", coid=1))
+        trail.record(event(participant="p1", coid=2))
+        trail.record(event(participant="p2", coid=3))
+        assert len(trail.events_for_participant("p1")) == 2
+
+    def test_empty_order_has_no_events(self):
+        assert AuditTrail().events_for_order("p1", 99) == []
+
+    def test_detail_round_trip(self):
+        trail = AuditTrail()
+        trail.record(event(detail="gateway=g07"))
+        assert trail.events_for_order("p1", 1)[0].detail == "gateway=g07"
+
+
+class TestLifecycleCheck:
+    def test_wellformed_lifecycle(self):
+        trail = AuditTrail()
+        for kind, ts in (
+            (audit_events.STAMPED, 10),
+            (audit_events.SEQUENCED, 20),
+            (audit_events.EXECUTED, 30),
+            (audit_events.EXECUTED, 30),
+            (audit_events.ACCEPTED, 30),
+        ):
+            trail.record(event(kind=kind, ts=ts))
+        assert trail.lifecycle_is_wellformed("p1", 1)
+
+    def test_out_of_order_phases_flagged(self):
+        trail = AuditTrail()
+        trail.record(event(kind=audit_events.SEQUENCED, ts=10))
+        trail.record(event(kind=audit_events.STAMPED, ts=20))
+        assert not trail.lifecycle_is_wellformed("p1", 1)
+
+    def test_decreasing_timestamps_flagged(self):
+        trail = AuditTrail()
+        trail.record(event(kind=audit_events.STAMPED, ts=20))
+        trail.record(event(kind=audit_events.SEQUENCED, ts=10))
+        assert not trail.lifecycle_is_wellformed("p1", 1)
+
+    def test_missing_order_not_wellformed(self):
+        assert not AuditTrail().lifecycle_is_wellformed("p1", 1)
+
+
+class TestClusterIntegration:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        cluster = CloudExCluster(
+            small_config(clock_sync="perfect", audit_trail=True, cancel_fraction=0.1)
+        )
+        cluster.add_default_workload(rate_per_participant=150.0)
+        cluster.run(duration_s=0.8)
+        return cluster
+
+    def test_every_processed_order_has_a_trail(self, cluster):
+        audit = cluster.exchange.audit
+        participant = cluster.participant(0)
+        events = audit.events_for_participant(participant.name)
+        assert events
+        order_ids = {e.client_order_id for e in events}
+        # Every audited order's lifecycle obeys the state machine.
+        for coid in order_ids:
+            assert audit.lifecycle_is_wellformed(participant.name, coid), coid
+
+    def test_executed_events_match_trade_count(self, cluster):
+        audit = cluster.exchange.audit
+        executed = 0
+        for participant in cluster.participants:
+            executed += sum(
+                1
+                for e in audit.events_for_participant(participant.name)
+                if e.kind == audit_events.EXECUTED
+            )
+        operator_fills = sum(
+            1
+            for e in audit.events_for_participant("operator")
+            if e.kind == audit_events.EXECUTED
+        )
+        # Two EXECUTED events per trade (one per side).
+        assert executed + operator_fills == 2 * cluster.metrics.trades_executed
+
+    def test_audit_disabled_by_default(self, small_cluster):
+        assert small_cluster.exchange.audit is None

@@ -1,0 +1,53 @@
+"""Tests for gateway authentication."""
+
+import pytest
+
+from repro.core.auth import AuthRegistry
+
+
+class TestAuthRegistry:
+    def test_verify_accepts_registered_token(self):
+        auth = AuthRegistry()
+        auth.register("p1", "secret")
+        assert auth.verify("p1", "secret")
+
+    def test_verify_rejects_wrong_token(self):
+        auth = AuthRegistry()
+        auth.register("p1", "secret")
+        assert not auth.verify("p1", "wrong")
+
+    def test_verify_rejects_unknown_participant(self):
+        assert not AuthRegistry().verify("ghost", "anything")
+
+    def test_rotation_invalidates_old_token(self):
+        auth = AuthRegistry()
+        auth.register("p1", "old")
+        auth.register("p1", "new")
+        assert not auth.verify("p1", "old")
+        assert auth.verify("p1", "new")
+
+    def test_revoke(self):
+        auth = AuthRegistry()
+        auth.register("p1", "t")
+        assert auth.revoke("p1") is True
+        assert not auth.verify("p1", "t")
+        assert auth.revoke("p1") is False
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(ValueError):
+            AuthRegistry().register("p1", "")
+
+    def test_is_known_and_len(self):
+        auth = AuthRegistry()
+        auth.register("p1", "t")
+        assert auth.is_known("p1")
+        assert not auth.is_known("p2")
+        assert len(auth) == 1
+
+    def test_mint_token_deterministic_and_distinct(self):
+        a = AuthRegistry.mint_token("p1", "op-secret")
+        b = AuthRegistry.mint_token("p1", "op-secret")
+        c = AuthRegistry.mint_token("p2", "op-secret")
+        d = AuthRegistry.mint_token("p1", "other-secret")
+        assert a == b
+        assert a != c and a != d

@@ -1,0 +1,93 @@
+"""Cluster-level tests for the frequent-batch-auction matching mode."""
+
+import pytest
+
+from repro.core.cluster import CloudExCluster
+from repro.core.types import OrderStatus, Side
+from tests.conftest import small_config
+
+
+def batch_cluster(**overrides):
+    defaults = dict(
+        clock_sync="perfect",
+        matching_mode="batch",
+        batch_interval_ms=50.0,
+    )
+    defaults.update(overrides)
+    return CloudExCluster(small_config(**defaults))
+
+
+class TestBatchLifecycle:
+    def test_order_acked_then_filled_at_auction(self):
+        cluster = batch_cluster()
+        participant = cluster.participant(0)
+        statuses = []
+
+        class Spy:
+            def on_confirmation(self, p, conf):
+                statuses.append(conf.status)
+
+            def on_trade(self, p, tc):
+                statuses.append("fill")
+
+            def on_market_data(self, p, d): ...
+
+        participant.strategy = Spy()
+        participant.submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.2)
+        # Buffered ack first, then the auction fill.
+        assert statuses[0] is OrderStatus.ACCEPTED
+        assert "fill" in statuses
+
+    def test_no_trades_between_auctions(self):
+        cluster = batch_cluster(batch_interval_ms=500.0)
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.3)  # before the first auction
+        assert cluster.metrics.trades_executed == 0
+        cluster.run(duration_s=0.4)  # past the auction boundary
+        assert cluster.metrics.trades_executed >= 1
+
+    def test_uniform_price_within_auction(self):
+        cluster = batch_cluster()
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_300)
+        cluster.participant(1).submit_limit("SYM000", Side.BUY, 5, 10_200)
+        cluster.run(duration_s=0.2)
+        trades = cluster.history.trades("SYM000")
+        assert trades
+        assert len({t.price for t in trades}) == 1
+
+    def test_cancel_before_auction_avoids_fill(self):
+        cluster = batch_cluster(batch_interval_ms=400.0)
+        participant = cluster.participant(0)
+        coid = participant.submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.1)
+        participant.cancel(coid, "SYM000")
+        cluster.run(duration_s=0.6)
+        assert participant.trades_received == 0
+
+    def test_default_workload_runs_and_settles(self):
+        cluster = batch_cluster()
+        cluster.add_default_workload(rate_per_participant=150.0)
+        cluster.run(duration_s=1.0)
+        m = cluster.metrics
+        assert m.orders_matched > 100
+        assert m.trades_executed > 10
+        # Conservation at cluster level.
+        for symbol in cluster.config.symbols:
+            assert cluster.portfolio.total_shares(symbol) == 0
+
+    def test_market_data_disseminated(self):
+        cluster = batch_cluster()
+        watcher = cluster.participant(2)
+        watcher.subscribe(["SYM000"])
+        cluster.run(duration_s=0.05)
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.3)
+        assert watcher.md_received > 0
+
+    def test_fairness_metrics_still_collected(self):
+        cluster = batch_cluster()
+        cluster.add_default_workload(rate_per_participant=150.0)
+        cluster.run(duration_s=0.5)
+        assert cluster.metrics.orders_released > 50
+        assert cluster.metrics.md_pieces_finalized > 0

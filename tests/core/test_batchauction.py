@@ -1,0 +1,195 @@
+"""Tests for the frequent-batch-auction core."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batchauction import BatchAuctionCore
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.types import OrderType, Side
+
+_ids = itertools.count(1)
+
+
+def order(side, qty, price=None, participant="p1", ts=None):
+    coid = next(_ids)
+    return Order(
+        client_order_id=coid,
+        participant_id=participant,
+        symbol="S",
+        side=side,
+        order_type=OrderType.LIMIT if price is not None else OrderType.MARKET,
+        quantity=qty,
+        limit_price=price,
+        gateway_id="g",
+        gateway_timestamp=ts if ts is not None else coid,
+        gateway_seq=coid,
+    )
+
+
+@pytest.fixture
+def core():
+    portfolio = PortfolioMatrix(default_cash=10**9)
+    for pid in ("p1", "p2", "p3", "fast", "slow"):
+        portfolio.open_account(pid)
+    return BatchAuctionCore(["S"], portfolio, reference_prices={"S": 100})
+
+
+class TestClearing:
+    def test_simple_cross_clears_at_uniform_price(self, core):
+        core.add_order(order(Side.BUY, 10, 105, "p1"))
+        core.add_order(order(Side.SELL, 10, 95, "p2"))
+        result = core.run_auction("S", now_local=0)
+        assert result.cleared
+        assert result.executed_volume == 10
+        assert len(result.trades) == 1
+        # Uniform price is among submitted limits, tie toward reference.
+        assert result.clearing_price in (95, 105)
+
+    def test_no_cross_no_trade(self, core):
+        core.add_order(order(Side.BUY, 10, 90, "p1"))
+        core.add_order(order(Side.SELL, 10, 110, "p2"))
+        result = core.run_auction("S", now_local=0)
+        assert not result.cleared
+        assert core.resting_count("S") == 2  # both carry over
+
+    def test_volume_maximizing_price(self, core):
+        # Demand: 30 @ >=100, 10 more @ >=99.  Supply: 10 @ <=98, 30 @ <=100.
+        core.add_order(order(Side.BUY, 30, 100, "p1"))
+        core.add_order(order(Side.BUY, 10, 99, "p1"))
+        core.add_order(order(Side.SELL, 10, 98, "p2"))
+        core.add_order(order(Side.SELL, 20, 100, "p2"))
+        result = core.run_auction("S", now_local=0)
+        # At 100: demand 30, supply 30 -> volume 30 (the max).
+        assert result.clearing_price == 100
+        assert result.executed_volume == 30
+
+    def test_every_trade_at_clearing_price(self, core):
+        core.add_order(order(Side.BUY, 10, 110, "p1"))
+        core.add_order(order(Side.BUY, 10, 105, "p1"))
+        core.add_order(order(Side.SELL, 15, 95, "p2"))
+        result = core.run_auction("S", now_local=0)
+        assert result.cleared
+        assert {t.price for t in result.trades} == {result.clearing_price}
+
+    def test_remainders_carry_over_and_fill_later(self, core):
+        core.add_order(order(Side.BUY, 20, 105, "p1"))
+        core.add_order(order(Side.SELL, 5, 100, "p2"))
+        first = core.run_auction("S", now_local=0)
+        assert first.executed_volume == 5
+        core.add_order(order(Side.SELL, 15, 100, "p2"))
+        second = core.run_auction("S", now_local=1)
+        assert second.executed_volume == 15
+
+    def test_market_orders_clear_at_reference_when_alone(self, core):
+        core.add_order(order(Side.BUY, 10, None, "p1"))
+        core.add_order(order(Side.SELL, 10, None, "p2"))
+        result = core.run_auction("S", now_local=0)
+        assert result.clearing_price == 100  # the reference price
+        assert result.executed_volume == 10
+
+    def test_market_orders_do_not_carry_over(self, core):
+        core.add_order(order(Side.BUY, 10, None, "p1"))
+        result = core.run_auction("S", now_local=0)
+        assert not result.cleared
+        assert core.resting_count("S") == 0
+
+    def test_unknown_symbol_rejected(self, core):
+        bad = order(Side.BUY, 1, 100)
+        bad.symbol = "X"
+        with pytest.raises(KeyError):
+            core.add_order(bad)
+
+    def test_cancel_buffered_order(self, core):
+        o = order(Side.BUY, 10, 105, "p1")
+        core.add_order(o)
+        assert core.cancel("p1", o.client_order_id, "S") is True
+        assert core.cancel("p1", o.client_order_id, "S") is False
+        assert not core.run_auction("S", 0).cleared
+
+
+class TestProRata:
+    def test_marginal_orders_share_pro_rata(self, core):
+        # Two marginal buys at 100 (60 and 40 shares) chase 50 shares
+        # of supply: pro-rata 30/20 -- arrival order irrelevant.
+        core.add_order(order(Side.BUY, 60, 100, "p1", ts=2))
+        core.add_order(order(Side.BUY, 40, 100, "p2", ts=1))
+        core.add_order(order(Side.SELL, 50, 100, "p3"))
+        result = core.run_auction("S", now_local=0)
+        assert result.executed_volume == 50
+        bought = {"p1": 0, "p2": 0}
+        for trade in result.trades:
+            bought[trade.buyer] += trade.quantity
+        assert bought == {"p1": 30, "p2": 20}
+
+    def test_price_priority_before_pro_rata(self, core):
+        core.add_order(order(Side.BUY, 30, 105, "p1"))  # strictly better
+        core.add_order(order(Side.BUY, 30, 100, "p2"))  # marginal
+        core.add_order(order(Side.SELL, 40, 100, "p3"))
+        result = core.run_auction("S", now_local=0)
+        bought = {}
+        for trade in result.trades:
+            bought[trade.buyer] = bought.get(trade.buyer, 0) + trade.quantity
+        assert bought["p1"] == 30  # full fill at better price
+        assert bought["p2"] == 10  # remainder
+
+    def test_speed_carries_no_priority_at_the_margin(self, core):
+        """The FBA headline: the earlier-arriving marginal order gets
+        no advantage over the later one."""
+        core.add_order(order(Side.BUY, 50, 100, "fast", ts=1))
+        core.add_order(order(Side.BUY, 50, 100, "slow", ts=999_999))
+        core.add_order(order(Side.SELL, 50, 100, "p3"))
+        result = core.run_auction("S", now_local=0)
+        bought = {"fast": 0, "slow": 0}
+        for trade in result.trades:
+            bought[trade.buyer] += trade.quantity
+        assert bought["fast"] == bought["slow"] == 25
+
+
+@given(
+    flow=st.lists(
+        st.tuples(
+            st.sampled_from([Side.BUY, Side.SELL]),
+            st.integers(1, 50),
+            st.integers(90, 110),
+            st.sampled_from(["p1", "p2", "p3"]),
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_auction_conservation(flow):
+    portfolio = PortfolioMatrix(default_cash=10**9)
+    for pid in ("p1", "p2", "p3"):
+        portfolio.open_account(pid)
+    core = BatchAuctionCore(["S"], portfolio, reference_prices={"S": 100})
+    for i, (side, qty, price, pid) in enumerate(flow):
+        core.add_order(
+            Order(
+                client_order_id=10_000 + i,
+                participant_id=pid,
+                symbol="S",
+                side=side,
+                order_type=OrderType.LIMIT,
+                quantity=qty,
+                limit_price=price,
+                gateway_id="g",
+                gateway_timestamp=i,
+                gateway_seq=i,
+            )
+        )
+    result = core.run_auction("S", now_local=0)
+    assert portfolio.total_shares("S") == 0
+    assert portfolio.total_cash() == 3 * 10**9
+    # Executed volume equals the sum of trade quantities, and both
+    # sides' fills balance.
+    assert sum(t.quantity for t in result.trades) == result.executed_volume
+    if result.cleared:
+        price = result.clearing_price
+        # No buy below p* and no sell above p* traded.
+        for trade in result.trades:
+            assert trade.price == price

@@ -1,0 +1,144 @@
+"""Tests for the central exchange server inside a small cluster."""
+
+import pytest
+
+from repro.core.cluster import CloudExCluster
+from repro.core.types import Side
+from tests.conftest import small_config
+
+
+def run_for(cluster, ms=50):
+    cluster.run(duration_s=ms / 1_000.0)
+
+
+class TestIngressAndDedup:
+    def test_replicas_deduplicated(self):
+        cluster = CloudExCluster(small_config(replication_factor=3, clock_sync="perfect"))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 9_000)
+        run_for(cluster)
+        assert cluster.metrics.replicas_received == 3
+        assert cluster.metrics.duplicates_dropped == 2
+        assert cluster.metrics.orders_matched == 1
+
+    def test_submission_latency_recorded_once(self):
+        cluster = CloudExCluster(small_config(replication_factor=3, clock_sync="perfect"))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 9_000)
+        run_for(cluster)
+        assert len(cluster.metrics.submission_latencies_ns) == 1
+
+    def test_confirmation_routed_via_winning_gateway(self):
+        cluster = CloudExCluster(small_config(replication_factor=2, clock_sync="perfect"))
+        participant = cluster.participant(0)
+        participant.submit_limit("SYM000", Side.BUY, 5, 9_000)
+        run_for(cluster)
+        assert participant.confirmations_received == 1
+
+
+class TestShardedProcessing:
+    def test_orders_route_to_owning_shard(self):
+        cluster = CloudExCluster(
+            small_config(n_shards=2, clock_sync="perfect", n_symbols=8)
+        )
+        symbols = cluster.config.symbols
+        shard_of = cluster.router.shard_of
+        target0 = next(s for s in symbols if shard_of(s) == 0)
+        target1 = next(s for s in symbols if shard_of(s) == 1)
+        cluster.participant(0).submit_limit(target0, Side.BUY, 5, 9_000)
+        cluster.participant(1).submit_limit(target1, Side.BUY, 5, 9_000)
+        run_for(cluster)
+        assert cluster.exchange.shards[0].sequencer.released_count == 1
+        assert cluster.exchange.shards[1].sequencer.released_count == 1
+
+    def test_trade_ids_globally_unique_across_shards(self):
+        cluster = CloudExCluster(small_config(n_shards=2, clock_sync="perfect"))
+        cluster.add_default_workload()
+        run_for(cluster, ms=500)
+        trades = []
+        for symbol in cluster.config.symbols:
+            trades.extend(cluster.history.trades(symbol))
+        ids = [t.trade_id for t in trades]
+        assert len(ids) == len(set(ids))
+        assert len(ids) > 0
+
+
+class TestPersistence:
+    def test_trades_persisted_to_bigtable(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        run_for(cluster)
+        trades = cluster.history.trades("SYM000")
+        assert len(trades) == 1
+        assert trades[0].buyer == "p00"
+        assert trades[0].price == 10_001
+
+    def test_persistence_disabled(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect", persist_trades=False))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        run_for(cluster)
+        assert cluster.trade_table.row_count() == 0
+
+
+class TestMarketDataDissemination:
+    def test_release_time_is_creation_plus_dh(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        run_for(cluster)
+        # All pieces finalized so far obeyed t_R = t_M + d_h by
+        # construction; verify via buffer stats: no piece held longer
+        # than d_h.
+        d_h = cluster.config.holdrelease_delay_ns
+        for gateway in cluster.gateways:
+            if gateway.hr_buffer.held_count:
+                assert gateway.hr_buffer.total_hold_ns <= d_h * gateway.hr_buffer.held_count
+
+    def test_every_gateway_receives_md(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        cluster.participant(0).submit_limit("SYM000", Side.BUY, 5, 10_100)
+        run_for(cluster)
+        handled = [g.hr_buffer.held_count for g in cluster.gateways]
+        assert all(count >= 1 for count in handled)
+
+    def test_snapshots_published_periodically(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        run_for(cluster, ms=200)
+        # 8 symbols x ~4 ticks of 50 ms in 200 ms.
+        assert cluster.metrics.md_pieces_finalized >= 8
+
+
+class TestDdpWiring:
+    def test_inbound_controller_moves_ds(self):
+        cluster = CloudExCluster(
+            small_config(
+                clock_sync="perfect",
+                ddp_inbound_target=0.0,  # unreachable: every window pushes up
+                ddp_window=50,
+                ddp_update_every=10,
+                sequencer_delay_us=0.0,
+            )
+        )
+        cluster.add_default_workload(rate_per_participant=400.0)
+        run_for(cluster, ms=800)
+        # With target 0 the controller can only ratchet upward (or stay
+        # when fairness is perfect); any out-of-sequence burst raises d_s.
+        assert cluster.exchange.ddp_inbound.samples_seen > 100
+        assert cluster.exchange.current_sequencer_delay_ns() >= 0
+
+    def test_outbound_controller_applies_dh(self):
+        cluster = CloudExCluster(
+            small_config(
+                clock_sync="perfect",
+                ddp_outbound_target=0.5,
+                ddp_window=20,
+                ddp_update_every=5,
+                holdrelease_delay_us=2_000.0,
+            )
+        )
+        cluster.add_default_workload(rate_per_participant=200.0)
+        run_for(cluster, ms=800)
+        # Loose target (50%) with a generous initial d_h: controller
+        # walks d_h downward.
+        assert cluster.exchange.d_h < cluster.config.holdrelease_delay_ns
+
+    def test_static_mode_has_no_controllers(self, small_cluster):
+        assert small_cluster.exchange.ddp_inbound is None
+        assert small_cluster.exchange.ddp_outbound is None

@@ -1,0 +1,111 @@
+"""Tests for the hold/release buffer."""
+
+import pytest
+
+from repro.core.holdrelease import HoldReleaseBuffer
+from repro.core.marketdata import MarketDataPiece
+from repro.sim.clock import HostClock
+from repro.sim.engine import Simulator
+
+
+class Harness:
+    def __init__(self, clock_offset=0):
+        self.sim = Simulator()
+        self.clock = HostClock(self.sim, offset_ns=clock_offset)
+        self.releases = []  # (seq, true release time)
+        self.releases_local = []  # (seq, gateway-local release time)
+        self.reports = []
+        self.buffer = HoldReleaseBuffer(
+            self.sim,
+            self.clock,
+            gateway_id="g00",
+            release=self._on_release,
+            report=self.reports.append,
+        )
+
+    def _on_release(self, piece, released_local):
+        self.releases.append((piece.seq, self.sim.now))
+        self.releases_local.append((piece.seq, released_local))
+
+    def offer_at(self, t, piece):
+        self.sim.schedule_at(t, self.buffer.offer, piece)
+
+
+def piece(seq=1, created=0, release_at=10_000):
+    return MarketDataPiece(
+        seq=seq, symbol="S", payload=object(), created_local=created, release_at=release_at
+    )
+
+
+class TestHold:
+    def test_early_arrival_held_to_release_time(self):
+        h = Harness()
+        h.offer_at(2_000, piece(release_at=10_000))
+        h.sim.run()
+        assert h.releases == [(1, 10_000)]
+
+    def test_report_carries_hold_time(self):
+        h = Harness()
+        h.offer_at(2_000, piece(release_at=10_000))
+        h.sim.run()
+        report = h.reports[0]
+        assert report.hold_ns == 8_000
+        assert report.late is False
+        assert report.lateness_ns == 0
+        assert report.gateway_id == "g00"
+
+    def test_simultaneous_release_across_desynced_gateways(self):
+        """Two gateways with different clock errors release at the same
+        *true* instant only if their disciplined clocks agree -- here
+        they are perfectly disciplined, so releases coincide."""
+        a, b = Harness(clock_offset=0), Harness(clock_offset=0)
+        for h in (a, b):
+            h.offer_at(1_000, piece(release_at=5_000))
+            h.sim.run()
+        assert a.releases[0][1] == b.releases[0][1] == 5_000
+
+
+class TestLate:
+    def test_late_arrival_released_immediately_and_flagged(self):
+        h = Harness()
+        h.offer_at(12_000, piece(release_at=10_000))
+        h.sim.run()
+        assert h.releases == [(1, 12_000)]
+        report = h.reports[0]
+        assert report.late is True
+        assert report.lateness_ns == 2_000
+        assert report.hold_ns == 0
+
+    def test_exactly_on_time_counts_late(self):
+        # arrival == release time: the buffer cannot hold it, so other
+        # gateways may already have released -- counted unfair.
+        h = Harness()
+        h.offer_at(10_000, piece(release_at=10_000))
+        h.sim.run()
+        assert h.reports[0].late is True
+        assert h.reports[0].lateness_ns == 0
+
+
+class TestStats:
+    def test_mean_hold_and_late_ratio(self):
+        h = Harness()
+        h.offer_at(2_000, piece(seq=1, release_at=10_000))  # hold 8000
+        h.offer_at(16_000, piece(seq=2, release_at=12_000))  # late
+        h.sim.run()
+        assert h.buffer.held_count == 2
+        assert h.buffer.late_count == 1
+        assert h.buffer.mean_hold_us() == pytest.approx(4.0)
+        assert h.buffer.late_ratio() == pytest.approx(0.5)
+
+    def test_empty_stats(self):
+        h = Harness()
+        assert h.buffer.mean_hold_us() == 0.0
+        assert h.buffer.late_ratio() == 0.0
+
+    def test_clock_error_shifts_release_instant(self):
+        # A gateway whose disciplined clock runs 1 us ahead releases
+        # 1 us early in true time: the fairness cost of bad sync.
+        h = Harness(clock_offset=1_000)
+        h.offer_at(2_000, piece(release_at=10_000))
+        h.sim.run()
+        assert h.releases == [(1, 9_000)]

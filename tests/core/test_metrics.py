@@ -1,0 +1,148 @@
+"""Tests for the metrics collector."""
+
+import pytest
+
+from repro.core.metrics import LatencySummary, MetricsCollector, percentile_us
+from repro.core.sequencer import SequencerSample
+from repro.sim.timeunits import MICROSECOND, SECOND
+
+
+def sample(qd=100, ooseq=False, ooseq_true=False):
+    return SequencerSample(
+        gateway_timestamp=0,
+        enqueued_local=0,
+        dequeued_local=qd,
+        out_of_sequence=ooseq,
+        out_of_sequence_true=ooseq_true,
+    )
+
+
+class TestOrderLifecycle:
+    def test_submission_latency_pairs_submit_and_receipt(self):
+        m = MetricsCollector()
+        m.record_submission("p1", 1, now_true=1_000)
+        m.record_engine_receipt("p1", 1, now_true=4_000)
+        assert m.submission_latencies_ns == [3_000]
+
+    def test_e2e_latency(self):
+        m = MetricsCollector()
+        m.record_submission("p1", 1, now_true=1_000)
+        m.record_confirmation("p1", 1, now_true=9_000)
+        assert m.e2e_latencies_ns == [8_000]
+
+    def test_unmatched_receipt_ignored(self):
+        m = MetricsCollector()
+        m.record_engine_receipt("p1", 99, now_true=4_000)
+        assert m.submission_latencies_ns == []
+
+    def test_only_first_confirmation_counts(self):
+        """A later confirmation for the same order (e.g. the cancel of
+        a long-resting order) must not inflate e2e latency."""
+        m = MetricsCollector()
+        m.record_submission("p1", 1, now_true=1_000)
+        m.record_confirmation("p1", 1, now_true=2_000)  # order ack
+        m.record_confirmation("p1", 1, now_true=900_000_000)  # cancel ack much later
+        assert m.e2e_latencies_ns == [1_000]
+
+
+class TestSequencerAggregation:
+    def test_ratios(self):
+        m = MetricsCollector()
+        for flag in (False, True, False, True):
+            m.record_sequencer_sample(sample(ooseq=flag, ooseq_true=not flag))
+        assert m.inbound_unfairness_ratio() == pytest.approx(0.5)
+        assert m.inbound_unfairness_ratio_true() == pytest.approx(0.5)
+
+    def test_mean_queuing_delay(self):
+        m = MetricsCollector()
+        m.record_sequencer_sample(sample(qd=2 * MICROSECOND))
+        m.record_sequencer_sample(sample(qd=4 * MICROSECOND))
+        assert m.mean_queuing_delay_us() == pytest.approx(3.0)
+
+    def test_empty_ratios_zero(self):
+        m = MetricsCollector()
+        assert m.inbound_unfairness_ratio() == 0.0
+        assert m.outbound_unfairness_ratio() == 0.0
+
+
+class TestMdAggregation:
+    def test_piece_fair_when_all_on_time(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=3)
+        assert m.record_md_report(1, late=False, lateness_ns=0, hold_ns=100) is None
+        assert m.record_md_report(1, late=False, lateness_ns=0, hold_ns=200) is None
+        assert m.record_md_report(1, late=False, lateness_ns=0, hold_ns=300) is False
+        assert m.outbound_unfairness_ratio() == 0.0
+        assert m.md_pieces_finalized == 1
+
+    def test_piece_unfair_when_any_late(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=2)
+        m.record_md_report(1, late=True, lateness_ns=500, hold_ns=0)
+        assert m.record_md_report(1, late=False, lateness_ns=0, hold_ns=100) is True
+        assert m.outbound_unfairness_ratio() == 1.0
+
+    def test_unknown_piece_ignored(self):
+        m = MetricsCollector()
+        assert m.record_md_report(42, late=True, lateness_ns=1, hold_ns=1) is None
+
+    def test_releasing_delay_counts_every_report(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=2)
+        m.record_md_report(1, late=False, lateness_ns=0, hold_ns=1 * MICROSECOND)
+        m.record_md_report(1, late=False, lateness_ns=0, hold_ns=3 * MICROSECOND)
+        assert m.mean_releasing_delay_us() == pytest.approx(2.0)
+
+
+class TestThroughputAndSummary:
+    def test_throughput(self):
+        m = MetricsCollector()
+        m.orders_matched = 500
+        m.measure_start_true = 0
+        m.measure_end_true = SECOND // 2
+        assert m.throughput_per_s() == pytest.approx(1_000.0)
+
+    def test_summary_keys(self):
+        m = MetricsCollector()
+        summary = m.summary()
+        for key in (
+            "throughput_per_s",
+            "submission_p50_us",
+            "inbound_unfairness",
+            "outbound_unfairness",
+            "mean_queuing_delay_us",
+            "mean_releasing_delay_us",
+        ):
+            assert key in summary
+
+    def test_reset_window_clears_aggregates_keeps_inflight(self):
+        m = MetricsCollector()
+        m.record_submission("p1", 1, now_true=100)
+        m.record_sequencer_sample(sample())
+        m.orders_matched = 5
+        m.reset_window(now_true=1_000)
+        assert m.orders_released == 0
+        assert m.orders_matched == 0
+        assert m.queuing_delays_ns == []
+        # In-flight submission still pairs after the reset.
+        m.record_engine_receipt("p1", 1, now_true=2_000)
+        assert m.submission_latencies_ns == [1_900]
+
+
+class TestLatencySummary:
+    def test_from_ns(self):
+        summary = LatencySummary.from_ns([i * MICROSECOND for i in range(1, 101)])
+        assert summary.count == 100
+        assert summary.p50_us == pytest.approx(50.5)
+        assert summary.mean_us == pytest.approx(50.5)
+        assert summary.p99_us > summary.p50_us
+
+    def test_empty(self):
+        summary = LatencySummary.from_ns([])
+        assert summary.count == 0
+        assert summary.p50_us == 0.0
+
+    def test_percentile_us_helper(self):
+        assert percentile_us([1000, 2000, 3000], 50) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            percentile_us([], 50)

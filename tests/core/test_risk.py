@@ -1,0 +1,104 @@
+"""Tests for pre-trade risk policies."""
+
+import itertools
+
+import pytest
+
+from repro.core.cluster import CloudExCluster
+from repro.core.matching import MatchingEngineCore
+from repro.core.order import Order
+from repro.core.portfolio import Account, PortfolioMatrix
+from repro.core.risk import MarginRiskPolicy, UnlimitedRisk
+from repro.core.types import OrderStatus, OrderType, RejectReason, Side
+from tests.conftest import small_config
+
+_ids = itertools.count(1)
+
+
+def order(side, qty, price=None, participant="p1"):
+    coid = next(_ids)
+    return Order(
+        client_order_id=coid,
+        participant_id=participant,
+        symbol="S",
+        side=side,
+        order_type=OrderType.LIMIT if price is not None else OrderType.MARKET,
+        quantity=qty,
+        limit_price=price,
+        gateway_id="g",
+        gateway_timestamp=coid,
+        gateway_seq=coid,
+    )
+
+
+def account(position=0, cash=1_000_000):
+    return Account(participant_id="p1", cash=cash, positions={"S": position})
+
+
+class TestPolicies:
+    def test_unlimited_admits_everything(self):
+        policy = UnlimitedRisk()
+        assert policy.check(order(Side.BUY, 10**9, 1), account(), None) is None
+
+    def test_position_cap_blocks_increase(self):
+        policy = MarginRiskPolicy(max_position=100)
+        assert policy.check(order(Side.BUY, 50, 100), account(position=80), 100) is RejectReason.RISK_LIMIT
+        assert policy.check(order(Side.BUY, 20, 100), account(position=80), 100) is None
+
+    def test_position_cap_is_symmetric_for_shorts(self):
+        policy = MarginRiskPolicy(max_position=100)
+        assert policy.check(order(Side.SELL, 50, 100), account(position=-80), 100) is RejectReason.RISK_LIMIT
+
+    def test_position_cap_allows_risk_reducing_orders(self):
+        policy = MarginRiskPolicy(max_position=100)
+        # Selling down from a long position reduces |position|.
+        assert policy.check(order(Side.SELL, 50, 100), account(position=90), 100) is None
+
+    def test_notional_cap(self):
+        policy = MarginRiskPolicy(max_order_notional=10_000)
+        assert policy.check(order(Side.BUY, 100, 101), account(), 100) is RejectReason.RISK_LIMIT
+        assert policy.check(order(Side.BUY, 100, 100), account(), 100) is None
+
+    def test_market_order_uses_reference_price(self):
+        policy = MarginRiskPolicy(max_order_notional=10_000)
+        assert policy.check(order(Side.BUY, 100), account(), 101) is RejectReason.RISK_LIMIT
+        assert policy.check(order(Side.BUY, 100), account(), 99) is None
+
+    def test_unpriceable_market_order_rejected_under_notional_cap(self):
+        policy = MarginRiskPolicy(max_order_notional=10_000)
+        assert policy.check(order(Side.BUY, 1), account(), None) is RejectReason.RISK_LIMIT
+
+
+class TestEngineIntegration:
+    def _core(self, policy):
+        portfolio = PortfolioMatrix(default_cash=10**6)
+        portfolio.open_account("p1")
+        portfolio.open_account("p2")
+        return MatchingEngineCore(["S"], portfolio, risk_policy=policy)
+
+    def test_risk_reject_never_reaches_book(self):
+        core = self._core(MarginRiskPolicy(max_position=10))
+        result = core.process_order(order(Side.BUY, 50, 100), now_local=0)
+        assert result.confirmation.status is OrderStatus.REJECTED
+        assert result.confirmation.reason is RejectReason.RISK_LIMIT
+        assert core.books["S"].resting_count() == 0
+        assert core.risk_rejects == 1
+
+    def test_admitted_orders_match_normally(self):
+        core = self._core(MarginRiskPolicy(max_position=100))
+        core.process_order(order(Side.SELL, 10, 100, participant="p2"), 0)
+        result = core.process_order(order(Side.BUY, 10, 100), 1)
+        assert result.confirmation.status is OrderStatus.FILLED
+
+    def test_cluster_level_enforcement(self):
+        cluster = CloudExCluster(
+            small_config(clock_sync="perfect", risk_max_position=20)
+        )
+        participant = cluster.participant(0)
+        participant.submit_limit("SYM000", Side.BUY, 500, 10_100)
+        cluster.run(duration_s=0.1)
+        assert cluster.metrics.rejects == 1
+        assert cluster.portfolio.account("p00").position("SYM000") == 0
+
+    def test_cluster_without_limits_has_no_policy(self, small_cluster):
+        assert small_cluster.exchange.risk_policy is None

@@ -1,0 +1,61 @@
+"""Tests for symbol-based sharding."""
+
+import pytest
+
+from repro.core.sharding import SymbolRouter
+
+
+class TestRouting:
+    def test_every_symbol_routed(self):
+        symbols = [f"S{i:02d}" for i in range(10)]
+        router = SymbolRouter(symbols, 4)
+        for symbol in symbols:
+            assert 0 <= router.shard_of(symbol) < 4
+
+    def test_routing_is_stable(self):
+        symbols = ["C", "A", "B"]
+        a = SymbolRouter(symbols, 2)
+        b = SymbolRouter(list(reversed(symbols)), 2)
+        for symbol in symbols:
+            assert a.shard_of(symbol) == b.shard_of(symbol)
+
+    def test_single_shard_owns_all(self):
+        router = SymbolRouter(["A", "B", "C"], 1)
+        assert router.symbols_of(0) == ("A", "B", "C")
+
+    def test_partition_is_disjoint_and_complete(self):
+        symbols = [f"S{i:02d}" for i in range(17)]
+        router = SymbolRouter(symbols, 4)
+        parts = router.partition()
+        flattened = [s for part in parts for s in part]
+        assert sorted(flattened) == sorted(symbols)
+        assert len(flattened) == len(set(flattened))
+
+    def test_balance(self):
+        router = SymbolRouter([f"S{i:03d}" for i in range(100)], 8)
+        sizes = [len(p) for p in router.partition()]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_unknown_symbol_raises(self):
+        router = SymbolRouter(["A"], 1)
+        with pytest.raises(KeyError):
+            router.shard_of("Z")
+
+    def test_bad_shard_index(self):
+        router = SymbolRouter(["A"], 1)
+        with pytest.raises(IndexError):
+            router.symbols_of(1)
+
+
+class TestValidation:
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolRouter(["A"], 0)
+
+    def test_empty_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolRouter([], 1)
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolRouter(["A", "A"], 1)

@@ -1,0 +1,169 @@
+"""Tests for circuit breakers (price-band halts)."""
+
+import itertools
+
+import pytest
+
+from repro.core.cluster import CloudExCluster
+from repro.core.matching import MatchingEngineCore
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.surveillance import CircuitBreaker
+from repro.core.types import OrderStatus, OrderType, RejectReason, Side
+from repro.sim.timeunits import MILLISECOND, SECOND
+from tests.conftest import small_config
+
+_ids = itertools.count(1)
+
+
+def order(side, qty, price, participant="p1"):
+    coid = next(_ids)
+    return Order(
+        client_order_id=coid,
+        participant_id=participant,
+        symbol="S",
+        side=side,
+        order_type=OrderType.LIMIT,
+        quantity=qty,
+        limit_price=price,
+        gateway_id="g",
+        gateway_timestamp=coid,
+        gateway_seq=coid,
+    )
+
+
+class TestCircuitBreakerLogic:
+    def test_small_moves_do_not_trip(self):
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        assert breaker.on_trade("S", 10_000, 0) is False
+        assert breaker.on_trade("S", 10_400, 100) is False  # +4%
+        assert not breaker.is_halted("S", 200)
+
+    def test_large_move_trips(self):
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        breaker.on_trade("S", 10_000, 0)
+        assert breaker.on_trade("S", 10_600, 100) is True  # +6%
+        assert breaker.is_halted("S", 200)
+        assert len(breaker.halts) == 1
+        halt = breaker.halts[0]
+        assert halt.reference_price == 10_000 and halt.trip_price == 10_600
+
+    def test_downward_move_trips_too(self):
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        breaker.on_trade("S", 10_000, 0)
+        assert breaker.on_trade("S", 9_400, 100) is True
+
+    def test_halt_expires(self):
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        breaker.on_trade("S", 10_000, 0)
+        breaker.on_trade("S", 11_000, 100)
+        assert breaker.is_halted("S", SECOND)
+        assert not breaker.is_halted("S", SECOND + 101)
+
+    def test_band_resets_after_halt(self):
+        """The trip price anchors the new band -- the same level must
+        not re-trip on resumption."""
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        breaker.on_trade("S", 10_000, 0)
+        breaker.on_trade("S", 11_000, 100)
+        resumed = SECOND + 200
+        assert breaker.on_trade("S", 11_100, resumed) is False
+        assert len(breaker.halts) == 1
+
+    def test_window_slides(self):
+        """A slow drift never trips: old reference prices age out."""
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        price = 10_000
+        for step in range(30):
+            tripped = breaker.on_trade("S", price, step * SECOND // 2)
+            assert not tripped
+            price = int(price * 1.02)  # +2% per half-window
+
+    def test_symbols_independent(self):
+        breaker = CircuitBreaker(threshold=0.05, window_ns=SECOND, halt_ns=SECOND)
+        breaker.on_trade("A", 10_000, 0)
+        breaker.on_trade("A", 11_000, 1)
+        assert breaker.is_halted("A", 2)
+        assert not breaker.is_halted("B", 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0.0, window_ns=1, halt_ns=1)
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0.1, window_ns=0, halt_ns=1)
+
+
+class TestEngineIntegration:
+    def _core(self):
+        portfolio = PortfolioMatrix(default_cash=10**9)
+        for pid in ("p1", "p2"):
+            portfolio.open_account(pid)
+        breaker = CircuitBreaker(
+            threshold=0.05, window_ns=SECOND, halt_ns=100 * MILLISECOND
+        )
+        return MatchingEngineCore(["S"], portfolio, circuit_breaker=breaker), breaker
+
+    def test_orders_rejected_during_halt(self):
+        core, breaker = self._core()
+        core.process_order(order(Side.SELL, 10, 10_000, "p2"), now_local=0)
+        core.process_order(order(Side.BUY, 10, 10_000, "p1"), now_local=1)  # ref trade
+        core.process_order(order(Side.SELL, 10, 11_000, "p2"), now_local=2)
+        core.process_order(order(Side.BUY, 10, 11_000, "p1"), now_local=3)  # trips (+10%)
+        assert breaker.is_halted("S", 4)
+        result = core.process_order(order(Side.BUY, 5, 11_000, "p1"), now_local=5)
+        assert result.confirmation.status is OrderStatus.REJECTED
+        assert result.confirmation.reason is RejectReason.SYMBOL_HALTED
+        assert core.halt_rejects == 1
+
+    def test_trading_resumes_after_halt(self):
+        core, breaker = self._core()
+        core.process_order(order(Side.SELL, 10, 10_000, "p2"), 0)
+        core.process_order(order(Side.BUY, 10, 10_000, "p1"), 1)
+        core.process_order(order(Side.SELL, 10, 11_000, "p2"), 2)
+        core.process_order(order(Side.BUY, 10, 11_000, "p1"), 3)
+        after = 3 + 100 * MILLISECOND + 1
+        core.process_order(order(Side.SELL, 10, 11_050, "p2"), after)
+        result = core.process_order(order(Side.BUY, 10, 11_050, "p1"), after + 1)
+        assert result.confirmation.status is OrderStatus.FILLED
+
+    def test_sweep_stops_at_trip(self):
+        """A single aggressive order that blows through the band only
+        executes up to (and including) the tripping fill."""
+        core, breaker = self._core()
+        core.process_order(order(Side.SELL, 10, 10_000, "p2"), 0)
+        core.process_order(order(Side.BUY, 10, 10_000, "p1"), 1)  # ref = 10_000
+        for price in (10_100, 10_400, 10_700, 11_000):
+            core.process_order(order(Side.SELL, 5, price, "p2"), 2)
+        result = core.process_order(order(Side.BUY, 20, 11_000, "p1"), now_local=3)
+        executed = [t.price for t in result.trades]
+        # 10_700 trips (+7%); 11_000 never executes.
+        assert executed == [10_100, 10_400, 10_700]
+        assert result.confirmation.filled == 15
+
+
+class TestClusterIntegration:
+    def test_halt_fires_under_pattern_bot_pump(self):
+        from repro.traders import PatternBotStrategy, TradingAgent, trend_target
+
+        cluster = CloudExCluster(
+            small_config(
+                clock_sync="perfect",
+                halt_threshold=0.03,
+                halt_window_ms=500.0,
+                halt_duration_ms=300.0,
+            )
+        )
+        bot = PatternBotStrategy("SYM000", trend_target(10_000, ticks_per_s=2_000.0), quantity=60)
+        agent = TradingAgent(
+            cluster.sim,
+            cluster.participant(0),
+            bot,
+            rate_per_s=400.0,
+            rng=cluster.rngs.stream("pump"),
+        )
+        agent.start()
+        cluster.run(duration_s=2.0)
+        breaker = cluster.exchange.circuit_breaker
+        assert breaker is not None
+        assert len(breaker.halts) >= 1
+        assert all(h.symbol == "SYM000" for h in breaker.halts)

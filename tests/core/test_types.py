@@ -1,0 +1,83 @@
+"""Tests for core enums and the market-data value types."""
+
+from repro.core.marketdata import BookSnapshot, MarketDataPiece, TradeRecord
+from repro.core.types import OrderStatus, OrderType, RejectReason, Side, TimeInForce
+
+
+class TestSide:
+    def test_opposite(self):
+        assert Side.BUY.opposite is Side.SELL
+        assert Side.SELL.opposite is Side.BUY
+
+    def test_str(self):
+        assert str(Side.BUY) == "buy"
+
+
+class TestEnums:
+    def test_order_types(self):
+        assert {t.value for t in OrderType} == {"limit", "market"}
+
+    def test_statuses_cover_lifecycle(self):
+        names = {s.name for s in OrderStatus}
+        assert {"ACCEPTED", "PARTIALLY_FILLED", "FILLED", "CANCELLED", "REJECTED"} == names
+
+    def test_reject_reasons_distinct(self):
+        values = [r.value for r in RejectReason]
+        assert len(values) == len(set(values))
+
+    def test_tif(self):
+        assert TimeInForce.GTC is not TimeInForce.IOC
+
+
+class TestTradeRecord:
+    def test_notional(self):
+        trade = TradeRecord(
+            trade_id=1,
+            symbol="S",
+            price=100,
+            quantity=7,
+            buyer="a",
+            seller="b",
+            buy_client_order_id=1,
+            sell_client_order_id=2,
+            executed_local=0,
+            aggressor_is_buy=True,
+        )
+        assert trade.notional() == 700
+
+
+class TestBookSnapshot:
+    def test_best_and_spread(self):
+        snapshot = BookSnapshot(
+            symbol="S", bids=((99, 10), (98, 5)), asks=((102, 3),), taken_local=0
+        )
+        assert snapshot.best_bid == 99
+        assert snapshot.best_ask == 102
+        assert snapshot.spread == 3
+        assert snapshot.mid_price == 100.5
+
+    def test_empty_sides(self):
+        snapshot = BookSnapshot(symbol="S", bids=(), asks=(), taken_local=0)
+        assert snapshot.best_bid == 0
+        assert snapshot.best_ask == 0
+        assert snapshot.spread == 0
+        assert snapshot.mid_price == 0.0
+
+
+class TestMarketDataPiece:
+    def test_kind_discrimination(self):
+        trade = TradeRecord(
+            trade_id=1,
+            symbol="S",
+            price=1,
+            quantity=1,
+            buyer="a",
+            seller="b",
+            buy_client_order_id=1,
+            sell_client_order_id=2,
+            executed_local=0,
+            aggressor_is_buy=True,
+        )
+        snapshot = BookSnapshot(symbol="S", bids=(), asks=(), taken_local=0)
+        assert MarketDataPiece(1, "S", trade, 0, 10).kind == "trade"
+        assert MarketDataPiece(2, "S", snapshot, 0, 10).kind == "snapshot"

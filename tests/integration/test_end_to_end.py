@@ -1,0 +1,197 @@
+"""End-to-end integration tests across the whole stack.
+
+These run small but complete deployments (network + clocks + sync +
+gateways + exchange + storage + traders) and assert the paper's
+qualitative behaviours at reduced scale.
+"""
+
+import pytest
+
+from repro.core.cluster import CloudExCluster
+from repro.core.types import Side
+from tests.conftest import small_config
+
+
+class TestOrderLifecycle:
+    """Fig. 2: submit -> stamp -> sequence -> match -> confirm -> disseminate."""
+
+    def test_full_lifecycle_latencies_are_ordered(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        participant = cluster.participant(0)
+        participant.subscribe(["SYM000"])
+        participant.submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.1)
+
+        metrics = cluster.metrics
+        assert len(metrics.submission_latencies_ns) == 1
+        assert len(metrics.e2e_latencies_ns) == 1
+        submission = metrics.submission_latencies_ns[0]
+        e2e = metrics.e2e_latencies_ns[0]
+        # Submission (one-way to engine) < end-to-end (round trip incl.
+        # sequencing and matching); both in the paper's regime.
+        assert 150_000 < submission < 5_000_000
+        assert e2e > submission + cluster.config.sequencer_delay_ns // 2
+
+    def test_trade_settles_and_persists_and_disseminates(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        buyer = cluster.participant(0)
+        watcher = cluster.participant(3)
+        watcher.subscribe(["SYM000"])
+        cluster.run(duration_s=0.01)
+        buyer.submit_limit("SYM000", Side.BUY, 7, 10_100)
+        cluster.run(duration_s=0.2)
+
+        # Settlement.
+        assert cluster.portfolio.account("p00").position("SYM000") == 7
+        # Persistence + historical query API.
+        trades = watcher.query_trades("SYM000")
+        assert [t.quantity for t in trades] == [7]
+        # Dissemination through the H/R buffers.
+        assert watcher.md_received >= 1
+
+    def test_trade_confirmations_reach_both_parties(self):
+        cluster = CloudExCluster(small_config(clock_sync="perfect"))
+        seller = cluster.participant(1)
+        seller.submit_limit("SYM001", Side.SELL, 5, 9_990)  # crosses seeded bid
+        cluster.run(duration_s=0.1)
+        assert seller.trades_received == 1
+        # Counterparty is the operator (seeded book) -- no participant
+        # confirmation, but the seller's fill arrived.
+
+
+class TestFairnessMechanisms:
+    def test_large_ds_eliminates_out_of_sequence(self):
+        config = small_config(
+            clock_sync="perfect", sequencer_delay_us=5_000.0, n_participants=6
+        )
+        cluster = CloudExCluster(config)
+        cluster.add_default_workload(rate_per_participant=300.0)
+        cluster.run(duration_s=1.0)
+        assert cluster.metrics.orders_released > 500
+        assert cluster.metrics.inbound_unfairness_ratio() < 0.001
+
+    def test_zero_ds_produces_unfairness(self):
+        config = small_config(clock_sync="perfect", sequencer_delay_us=0.0)
+        cluster = CloudExCluster(config)
+        cluster.add_default_workload(rate_per_participant=300.0)
+        cluster.run(duration_s=1.0)
+        assert cluster.metrics.inbound_unfairness_ratio() > 0.0
+
+    def test_latency_fairness_tradeoff_direction(self):
+        """Larger d_s: fairer but slower (paper §2.2)."""
+
+        def run(d_s):
+            cluster = CloudExCluster(
+                small_config(clock_sync="perfect", sequencer_delay_us=d_s)
+            )
+            cluster.add_default_workload(rate_per_participant=300.0)
+            cluster.run(duration_s=1.0)
+            m = cluster.metrics
+            return m.inbound_unfairness_ratio(), m.mean_queuing_delay_us()
+
+        unfair_small, delay_small = run(0.0)
+        unfair_big, delay_big = run(2_000.0)
+        assert unfair_big <= unfair_small
+        assert delay_big > delay_small
+
+    def test_large_dh_keeps_dissemination_fair(self):
+        cluster = CloudExCluster(
+            small_config(clock_sync="perfect", holdrelease_delay_us=5_000.0)
+        )
+        cluster.add_default_workload(rate_per_participant=200.0)
+        cluster.run(duration_s=1.0)
+        assert cluster.metrics.md_pieces_finalized > 50
+        assert cluster.metrics.outbound_unfairness_ratio() < 0.01
+
+    def test_tiny_dh_is_unfair(self):
+        cluster = CloudExCluster(
+            small_config(clock_sync="perfect", holdrelease_delay_us=50.0)
+        )
+        cluster.add_default_workload(rate_per_participant=200.0)
+        cluster.run(duration_s=0.5)
+        # d_h below the engine->gateway floor: everything arrives late.
+        assert cluster.metrics.outbound_unfairness_ratio() > 0.9
+
+
+class TestClockSyncMatters:
+    def test_sync_improves_true_fairness_at_zero_ds(self):
+        def run(mode):
+            cluster = CloudExCluster(
+                small_config(clock_sync=mode, sequencer_delay_us=0.0, seed=11)
+            )
+            cluster.add_default_workload(rate_per_participant=400.0)
+            cluster.run(duration_s=1.0)
+            return cluster.metrics.inbound_unfairness_ratio_true()
+
+        assert run("none") > 3 * run("huygens")
+
+    def test_desync_breaks_fairness_on_both_metrics(self):
+        """Without sync, ms-scale clock offsets make sequencing wrong by
+        both the exchange's own measure and ground truth; the two can
+        also disagree materially (why the collector tracks both)."""
+        cluster = CloudExCluster(
+            small_config(clock_sync="none", sequencer_delay_us=0.0, seed=11)
+        )
+        cluster.add_default_workload(rate_per_participant=400.0)
+        cluster.run(duration_s=1.0)
+        m = cluster.metrics
+        assert m.inbound_unfairness_ratio() > 0.05
+        assert m.inbound_unfairness_ratio_true() > 0.05
+
+
+class TestRosFaultTolerance:
+    def test_orders_flow_despite_crashed_primary(self):
+        config = small_config(clock_sync="perfect", replication_factor=2)
+        cluster = CloudExCluster(config)
+        participant = cluster.participant(0)
+        cluster.network.host(participant.primary_gateway).crash()
+        participant.submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.2)
+        # The replica through the second gateway still executed.
+        assert cluster.metrics.orders_matched == 1
+        assert participant.trades_received == 1
+
+    def test_rf1_with_crashed_gateway_loses_orders(self):
+        config = small_config(clock_sync="perfect", replication_factor=1)
+        cluster = CloudExCluster(config)
+        participant = cluster.participant(0)
+        cluster.network.host(participant.primary_gateway).crash()
+        participant.submit_limit("SYM000", Side.BUY, 5, 10_100)
+        cluster.run(duration_s=0.2)
+        assert cluster.metrics.orders_matched == 0
+
+    def test_straggler_hurts_rf1_more_than_rf3(self):
+        def run(rf):
+            config = small_config(
+                clock_sync="perfect",
+                n_gateways=3,
+                replication_factor=rf,
+                straggler_gateways=1,
+                straggler_multiplier=4.0,
+                seed=5,
+            )
+            cluster = CloudExCluster(config)
+            cluster.add_default_workload(rate_per_participant=150.0)
+            cluster.run(duration_s=1.0)
+            return cluster.metrics.submission_summary().p999_us
+
+        assert run(3) < run(1)
+
+
+class TestDdpEndToEnd:
+    def test_ddp_tracks_inbound_target(self):
+        config = small_config(
+            clock_sync="perfect",
+            ddp_inbound_target=0.02,
+            ddp_window=200,
+            ddp_update_every=20,
+            sequencer_delay_us=0.0,
+        )
+        cluster = CloudExCluster(config)
+        cluster.add_default_workload(rate_per_participant=500.0)
+        cluster.run(duration_s=2.0)
+        cluster.reset_metrics()
+        cluster.run(duration_s=2.0)
+        achieved = cluster.metrics.inbound_unfairness_ratio()
+        assert achieved == pytest.approx(0.02, abs=0.02)
+        assert cluster.exchange.ddp_inbound.adjustments > 0

@@ -1,0 +1,145 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Actor, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, sim):
+        hits = []
+        sim.schedule(300, hits.append, "c")
+        sim.schedule(100, hits.append, "a")
+        sim.schedule(200, hits.append, "b")
+        sim.run()
+        assert hits == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_scheduling_order(self, sim):
+        hits = []
+        for tag in "abcde":
+            sim.schedule(50, hits.append, tag)
+        sim.run()
+        assert hits == list("abcde")
+
+    def test_priority_breaks_timestamp_ties(self, sim):
+        hits = []
+        sim.schedule(50, hits.append, "late", priority=1)
+        sim.schedule(50, hits.append, "early", priority=0)
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1_000, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1_000]
+        assert sim.now == 1_000
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_handlers_can_schedule_more_events(self, sim):
+        hits = []
+
+        def chain(n):
+            hits.append(n)
+            if n < 3:
+                sim.schedule(10, chain, n + 1)
+
+        sim.schedule(0, chain, 0)
+        sim.run()
+        assert hits == [0, 1, 2, 3]
+        assert sim.now == 30
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        hits = []
+        event = sim.schedule(100, hits.append, "x")
+        event.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(100, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(100, lambda: None)
+        drop = sim.schedule(200, lambda: None)
+        drop.cancel()
+        assert sim.pending() == 1
+        assert keep is not drop
+
+
+class TestRunControl:
+    def test_run_until_stops_at_boundary(self, sim):
+        hits = []
+        sim.schedule(100, hits.append, "in")
+        sim.schedule(500, hits.append, "out")
+        sim.run(until=250)
+        assert hits == ["in"]
+        assert sim.now == 250
+        sim.run(until=600)
+        assert hits == ["in", "out"]
+
+    def test_run_until_advances_time_even_with_no_events(self, sim):
+        sim.run(until=1_000)
+        assert sim.now == 1_000
+
+    def test_max_events_limits_processing(self, sim):
+        hits = []
+        for i in range(10):
+            sim.schedule(i, hits.append, i)
+        sim.run(max_events=4)
+        assert hits == [0, 1, 2, 3]
+
+    def test_stop_from_handler(self, sim):
+        hits = []
+        sim.schedule(10, hits.append, 1)
+        sim.schedule(20, lambda: sim.stop())
+        sim.schedule(30, hits.append, 2)
+        sim.run()
+        assert hits == [1]
+
+    def test_step_runs_one_event(self, sim):
+        hits = []
+        sim.schedule(5, hits.append, "a")
+        sim.schedule(6, hits.append, "b")
+        assert sim.step() is True
+        assert hits == ["a"]
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_reentrant_run_rejected(self, sim):
+        def nested():
+            sim.run()
+
+        sim.schedule(1, nested)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestActor:
+    def test_unhandled_message_raises(self, sim):
+        actor = Actor(sim, "a1")
+        with pytest.raises(NotImplementedError):
+            actor.on_message("payload", "sender")
+
+    def test_repr_contains_name(self, sim):
+        assert "a1" in repr(Actor(sim, "a1"))

@@ -1,0 +1,173 @@
+"""Tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import (
+    CompositeLatency,
+    ConstantLatency,
+    GammaLatency,
+    LognormalLatency,
+    PeriodicInjectedDelay,
+    SpikyLatency,
+    StragglerLatency,
+    UniformLatency,
+    cloud_link,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.timeunits import MICROSECOND, SECOND
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(99).stream("latency-tests")
+
+
+def draws(model, rng, n=5000, now=0):
+    return np.array([model.sample(rng, now) for _ in range(n)])
+
+
+class TestConstant:
+    def test_always_same(self, rng):
+        model = ConstantLatency(42_000)
+        assert {model.sample(rng, 0) for _ in range(10)} == {42_000}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_zero_allowed(self, rng):
+        assert ConstantLatency(0).sample(rng, 0) == 0
+
+
+class TestUniform:
+    def test_within_bounds(self, rng):
+        samples = draws(UniformLatency(10_000, 20_000), rng)
+        assert samples.min() >= 10_000
+        assert samples.max() <= 20_000
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(20, 10)
+
+
+class TestLognormal:
+    def test_median_is_calibrated(self, rng):
+        model = LognormalLatency(100_000, 0.3)
+        samples = draws(model, rng, n=20000)
+        assert abs(np.median(samples) - 100_000) / 100_000 < 0.05
+
+    def test_zero_sigma_is_constant(self, rng):
+        samples = draws(LognormalLatency(50_000, 0.0), rng, n=100)
+        assert (samples == 50_000).all()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(0, 0.3)
+        with pytest.raises(ValueError):
+            LognormalLatency(100, -1.0)
+
+
+class TestGamma:
+    def test_mean_matches(self, rng):
+        model = GammaLatency(10_000, 2.0, 5_000)
+        samples = draws(model, rng, n=30000)
+        assert abs(samples.mean() - 20_000) / 20_000 < 0.05
+
+    def test_floor_override_allows_near_zero(self, rng):
+        model = GammaLatency(0, 0.5, 1_000, floor_ns=0)
+        assert draws(model, rng).min() < 1_000
+
+    def test_default_floor_applies(self, rng):
+        model = GammaLatency(0, 0.5, 10)
+        assert draws(model, rng).min() >= model.floor_ns
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            GammaLatency(-1, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            GammaLatency(0, 0.0, 1.0)
+
+
+class TestSpiky:
+    def test_no_spikes_matches_base(self, rng):
+        base = ConstantLatency(10_000)
+        model = SpikyLatency(base, 0.0)
+        assert (draws(model, rng, n=100) == 10_000).all()
+
+    def test_spikes_inflate_some_samples(self, rng):
+        model = SpikyLatency(ConstantLatency(10_000), 0.5, 4.0)
+        samples = draws(model, rng)
+        assert (samples > 10_000).any()
+        assert (samples == 10_000).any()
+        assert samples.max() <= 40_000
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SpikyLatency(ConstantLatency(1), 2.0)
+        with pytest.raises(ValueError):
+            SpikyLatency(ConstantLatency(1), 0.1, 1.5)
+
+
+class TestStraggler:
+    def test_multiplies_base(self, rng):
+        model = StragglerLatency(ConstantLatency(10_000), 3.0)
+        assert model.sample(rng, 0) == 30_000
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            StragglerLatency(ConstantLatency(1), 0.5)
+
+
+class TestPeriodicInjection:
+    def test_phase_schedule(self, rng):
+        model = PeriodicInjectedDelay(
+            ConstantLatency(10_000), [0, 400_000, 200_000], 6 * SECOND
+        )
+        assert model.extra_at(0) == 0
+        assert model.extra_at(6 * SECOND) == 400_000
+        assert model.extra_at(12 * SECOND) == 200_000
+        assert model.extra_at(18 * SECOND) == 0  # cycles
+
+    def test_sample_includes_extra(self, rng):
+        model = PeriodicInjectedDelay(ConstantLatency(10_000), [0, 400_000], SECOND)
+        assert model.sample(rng, 0) == 10_000
+        assert model.sample(rng, SECOND) == 410_000
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicInjectedDelay(ConstantLatency(1), [], SECOND)
+
+
+class TestComposite:
+    def test_sums_components(self, rng):
+        model = CompositeLatency([ConstantLatency(1_000), ConstantLatency(2_000)])
+        assert model.sample(rng, 0) == 3_000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeLatency([])
+
+
+class TestCloudLink:
+    def test_floor_is_base(self, rng):
+        model = cloud_link(100.0, spike_prob=0.0)
+        samples = draws(model, rng)
+        assert samples.min() >= 100 * MICROSECOND
+
+    def test_mass_near_floor_exists(self, rng):
+        """Some probes traverse nearly un-queued -- the property the
+        Huygens minimum envelope depends on."""
+        model = cloud_link(100.0, jitter_shape=0.7, jitter_scale_us=30.0, spike_prob=0.0)
+        samples = draws(model, rng, n=20000)
+        near_floor = (samples < 101 * MICROSECOND).mean()
+        assert near_floor > 0.005
+
+    def test_has_heavy_tail(self, rng):
+        model = cloud_link(100.0, jitter_scale_us=60.0, spike_prob=0.01, spike_scale=5.0)
+        samples = draws(model, rng, n=50000)
+        assert np.percentile(samples, 99.9) > 2.5 * np.median(samples)
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ValueError):
+            cloud_link(0.0)

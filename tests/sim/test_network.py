@@ -1,0 +1,158 @@
+"""Tests for hosts, links, and message delivery."""
+
+import pytest
+
+from repro.sim.engine import Actor, Simulator
+from repro.sim.latency import ConstantLatency, UniformLatency
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+
+
+class Recorder(Actor):
+    """Collects (payload, sender, time) tuples."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, msg, sender):
+        self.received.append((msg, sender, self.sim.now))
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = Network(sim, RngRegistry(5))
+    return sim, network
+
+
+def wire(sim, network, a="a", b="b", latency=None):
+    network.add_host(a)
+    network.add_host(b)
+    network.connect(a, b, latency or ConstantLatency(1_000))
+    recorder = Recorder(sim, b)
+    network.host(b).bind(recorder)
+    return recorder
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.send("a", "b", "hello")
+        sim.run()
+        assert recorder.received == [("hello", "a", 1_000)]
+
+    def test_fifo_link_preserves_order(self, net):
+        sim, network = net
+        recorder = wire(sim, network, latency=UniformLatency(1_000, 50_000))
+        for i in range(50):
+            network.send("a", "b", i)
+        sim.run()
+        assert [msg for msg, _, _ in recorder.received] == list(range(50))
+
+    def test_non_fifo_link_can_reorder(self, net):
+        sim, network = net
+        network.add_host("a")
+        network.add_host("b")
+        network.connect("a", "b", UniformLatency(1_000, 100_000), fifo=False)
+        recorder = Recorder(sim, "b")
+        network.host("b").bind(recorder)
+        for i in range(100):
+            network.send("a", "b", i)
+        sim.run()
+        order = [msg for msg, _, _ in recorder.received]
+        assert sorted(order) == list(range(100))
+        assert order != list(range(100))
+
+    def test_link_stats(self, net):
+        sim, network = net
+        wire(sim, network)
+        link = network.link("a", "b")
+        network.send("a", "b", "x")
+        sim.run()
+        assert link.messages_sent == 1
+        assert link.mean_delay_us() == pytest.approx(1.0)
+
+
+class TestCrash:
+    def test_messages_to_down_host_are_dropped(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.host("b").crash()
+        network.send("a", "b", "lost")
+        sim.run()
+        assert recorder.received == []
+        assert network.host("b").dropped_while_down == 1
+
+    def test_restart_resumes_delivery(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.host("b").crash()
+        network.send("a", "b", "lost")
+        sim.run()
+        network.host("b").restart()
+        network.send("a", "b", "found")
+        sim.run()
+        assert [m for m, _, _ in recorder.received] == ["found"]
+
+    def test_in_flight_message_to_crashing_host_dropped(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.send("a", "b", "in-flight")
+        sim.schedule(500, network.host("b").crash)  # before delivery at 1000
+        sim.run()
+        assert recorder.received == []
+
+
+class TestTopology:
+    def test_duplicate_host_rejected(self, net):
+        _, network = net
+        network.add_host("a")
+        with pytest.raises(ValueError):
+            network.add_host("a")
+
+    def test_duplicate_link_rejected(self, net):
+        sim, network = net
+        wire(sim, network)
+        with pytest.raises(ValueError):
+            network.connect("a", "b", ConstantLatency(1))
+
+    def test_missing_link_raises(self, net):
+        _, network = net
+        network.add_host("a")
+        network.add_host("b")
+        with pytest.raises(KeyError):
+            network.send("a", "b", "x")
+
+    def test_unknown_host_raises(self, net):
+        _, network = net
+        with pytest.raises(KeyError):
+            network.host("nope")
+
+    def test_bidirectional_creates_both(self, net):
+        _, network = net
+        network.add_host("a")
+        network.add_host("b")
+        network.connect_bidirectional("a", "b", ConstantLatency(1))
+        assert network.link("a", "b") is not network.link("b", "a")
+
+    def test_unbound_host_delivery_raises(self, net):
+        sim, network = net
+        network.add_host("a")
+        network.add_host("b")
+        network.connect("a", "b", ConstantLatency(1))
+        network.send("a", "b", "x")
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_rebinding_same_actor_ok(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.host("b").bind(recorder)  # idempotent
+
+    def test_rebinding_different_actor_rejected(self, net):
+        sim, network = net
+        wire(sim, network)
+        with pytest.raises(ValueError):
+            network.host("b").bind(Recorder(sim, "other"))

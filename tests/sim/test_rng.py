@@ -1,0 +1,59 @@
+"""Tests for deterministic named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(7).stream("link:x")
+        b = RngRegistry(7).stream("link:x")
+        assert list(a.integers(0, 1000, 10)) == list(b.integers(0, 1000, 10))
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(7).stream("link:x")
+        b = RngRegistry(8).stream("link:x")
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_different_names_differ(self):
+        reg = RngRegistry(7)
+        a = reg.stream("link:x")
+        b = reg.stream("link:y")
+        assert list(a.integers(0, 10**9, 8)) != list(b.integers(0, 10**9, 8))
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(7)
+        assert reg.stream("s") is reg.stream("s")
+
+    def test_creation_order_does_not_matter(self):
+        reg1 = RngRegistry(3)
+        reg1.stream("a")
+        x = reg1.stream("b").integers(0, 10**9)
+        reg2 = RngRegistry(3)
+        y = reg2.stream("b").integers(0, 10**9)  # no "a" created first
+        assert x == y
+
+
+class TestFork:
+    def test_fork_is_independent(self):
+        reg = RngRegistry(7)
+        fork = reg.fork(1)
+        a = reg.stream("s").integers(0, 10**9, 8)
+        b = fork.stream("s").integers(0, 10**9, 8)
+        assert list(a) != list(b)
+
+    def test_fork_deterministic(self):
+        x = RngRegistry(7).fork(5).stream("s").integers(0, 10**9)
+        y = RngRegistry(7).fork(5).stream("s").integers(0, 10**9)
+        assert x == y
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry("seed")  # type: ignore[arg-type]
+
+    def test_streams_are_numpy_generators(self):
+        assert isinstance(RngRegistry(1).stream("s"), np.random.Generator)

@@ -1,0 +1,27 @@
+"""Tests for time unit conversions."""
+
+from repro.sim import timeunits as tu
+
+
+def test_constants_are_consistent():
+    assert tu.MICROSECOND == 1_000 * tu.NANOSECOND
+    assert tu.MILLISECOND == 1_000 * tu.MICROSECOND
+    assert tu.SECOND == 1_000 * tu.MILLISECOND
+
+
+def test_forward_conversions():
+    assert tu.us(1.5) == 1_500
+    assert tu.ms(2) == 2_000_000
+    assert tu.seconds(0.25) == 250_000_000
+    assert tu.ns(3.4) == 3
+
+
+def test_reverse_conversions():
+    assert tu.to_us(1_500) == 1.5
+    assert tu.to_ms(2_000_000) == 2.0
+    assert tu.to_seconds(250_000_000) == 0.25
+
+
+def test_round_trip():
+    for value in (0, 1, 999, 10**9):
+        assert tu.us(tu.to_us(value)) == value

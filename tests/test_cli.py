@@ -1,0 +1,58 @@
+"""Tests for the ``python -m repro`` command-line demo."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.participants == 12
+        assert args.clock_sync == "huygens"
+        assert args.matching == "continuous"
+
+    def test_flag_parsing(self):
+        args = build_parser().parse_args(
+            ["--rf", "3", "--ddp", "0.01", "--matching", "batch", "--duration", "0.5"]
+        )
+        assert args.rf == 3
+        assert args.ddp == 0.01
+        assert args.matching == "batch"
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--clock-sync", "chrony"])
+
+
+class TestMain:
+    def test_runs_and_prints_report(self, capsys):
+        code = main(
+            [
+                "--participants", "4",
+                "--gateways", "2",
+                "--symbols", "4",
+                "--duration", "0.2",
+                "--rate", "100",
+                "--clock-sync", "perfect",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CloudEx run" in out
+        assert "orders matched" in out
+
+    def test_batch_mode_runs(self, capsys):
+        code = main(
+            [
+                "--participants", "4",
+                "--gateways", "2",
+                "--symbols", "4",
+                "--duration", "0.3",
+                "--rate", "100",
+                "--clock-sync", "perfect",
+                "--matching", "batch",
+            ]
+        )
+        assert code == 0
+        assert "trades executed" in capsys.readouterr().out

@@ -1,0 +1,42 @@
+"""Tests for workload assembly helpers."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.traders.workload import split_symbols
+
+
+class TestSplitSymbols:
+    def test_every_participant_gets_requested_count(self):
+        symbols = [f"S{i:02d}" for i in range(10)]
+        assignments = split_symbols(symbols, 6, 3, RngRegistry(1))
+        assert len(assignments) == 6
+        assert all(len(a) == 3 for a in assignments)
+
+    def test_assignments_within_universe(self):
+        symbols = [f"S{i:02d}" for i in range(10)]
+        for assignment in split_symbols(symbols, 4, 2, RngRegistry(1)):
+            assert set(assignment) <= set(symbols)
+
+    def test_universe_coverage_when_capacity_allows(self):
+        symbols = [f"S{i:02d}" for i in range(8)]
+        assignments = split_symbols(symbols, 8, 2, RngRegistry(1))
+        covered = {s for a in assignments for s in a}
+        assert covered == set(symbols)
+
+    def test_deterministic(self):
+        symbols = [f"S{i:02d}" for i in range(10)]
+        a = split_symbols(symbols, 5, 3, RngRegistry(9))
+        b = split_symbols(symbols, 5, 3, RngRegistry(9))
+        assert a == b
+
+    def test_no_duplicates_within_assignment(self):
+        symbols = [f"S{i:02d}" for i in range(5)]
+        for assignment in split_symbols(symbols, 10, 4, RngRegistry(2)):
+            assert len(set(assignment)) == len(assignment)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_symbols(["A"], 2, 0, RngRegistry(1))
+        with pytest.raises(ValueError):
+            split_symbols(["A"], 2, 2, RngRegistry(1))
