@@ -3,11 +3,17 @@
 Runs a small CloudEx deployment with the default zero-intelligence
 workload and prints the operator report.  Flags tune the interesting
 knobs; see ``python -m repro --help``.
+
+``python -m repro trace`` runs the same deployment with per-order
+lifecycle tracing enabled and prints the latency breakdown, clock
+error, ROS attribution, and operational-counter tables, writing the
+raw traces to a JSONL file; see ``python -m repro trace --help``.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.analysis.report import summarize_run
 from repro.core.cluster import CloudExCluster
@@ -49,7 +55,83 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run a traced CloudEx deployment and print the per-stage "
+            "latency breakdown, clock-error, and ROS-attribution tables."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--participants", type=int, default=4)
+    parser.add_argument("--gateways", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--symbols", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=0.5, metavar="SECONDS")
+    parser.add_argument("--rate", type=float, default=100.0, help="orders/s per participant")
+    parser.add_argument("--rf", type=int, default=2, help="ROS replication factor")
+    parser.add_argument("--sample-rate", type=float, default=1.0, help="trace sampling rate in [0, 1]")
+    parser.add_argument("--out", default="trace.jsonl", metavar="PATH", help="JSONL trace output path")
+    parser.add_argument(
+        "--clock-sync",
+        choices=["huygens", "ntp", "none", "perfect"],
+        default="huygens",
+    )
+    return parser
+
+
+def trace_main(argv=None) -> int:
+    from repro.obs.breakdown import breakdown_table, clock_error_table, ros_attribution_table
+
+    args = build_trace_parser().parse_args(argv)
+    config = CloudExConfig(
+        seed=args.seed,
+        n_participants=args.participants,
+        n_gateways=args.gateways,
+        n_shards=args.shards,
+        n_symbols=args.symbols,
+        replication_factor=args.rf,
+        clock_sync=args.clock_sync,
+        orders_per_participant_per_s=args.rate,
+        subscriptions_per_participant=min(3, args.symbols),
+        tracing=True,
+        trace_sample_rate=args.sample_rate,
+    )
+    cluster = CloudExCluster(config)
+    cluster.add_default_workload()
+    cluster.run(duration_s=args.duration)
+
+    tracer = cluster.tracer
+    assert tracer is not None
+    traces = tracer.all_traces()
+    completed = tracer.completed_traces()
+    print(f"traces: {len(traces)} sampled, {len(completed)} completed\n")
+    print("Latency breakdown (true time; stages telescope to end_to_end)")
+    print(breakdown_table(completed))
+    print("\nClock error by span (synced clock vs. true time)")
+    print(clock_error_table(traces))
+    print("\nROS critical-path attribution")
+    print(ros_attribution_table(completed))
+    print("\nOperational counters")
+    print(cluster.counters.as_table())
+    if cluster.profiler is not None:
+        print("\nEvent-loop dispatch profile")
+        print(cluster.profiler.as_table())
+    emitted = {s.name: c for s, c in cluster.events.counts_by_severity.items() if c}
+    if emitted:
+        summary = ", ".join(f"{name}={count}" for name, count in sorted(emitted.items()))
+        print(f"\nevent log: {summary} (dropped={cluster.events.dropped})")
+    tracer.dump_jsonl(args.out)
+    print(f"\nwrote {len(traces)} traces to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = CloudExConfig(
         seed=args.seed,

@@ -35,6 +35,7 @@ from repro.core.participant import Participant
 from repro.core.portfolio import PortfolioMatrix
 from repro.core.sharding import SymbolRouter
 from repro.core.types import OrderType, Side
+from repro.obs import DispatchProfiler, EventLog, MetricsRegistry, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.latency import (
     GammaLatency,
@@ -77,8 +78,22 @@ class CloudExCluster:
         self.config = config
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
-        self.network = Network(self.sim, self.rngs)
+        # Observability (repro.obs): the counter registry and event log
+        # are always on (plain data structures); the lifecycle tracer
+        # and dispatch profiler exist only when config.tracing is set,
+        # so the production hot path pays one `is not None` test.
+        self.counters = MetricsRegistry()
+        self.events = EventLog(capacity=config.event_log_capacity)
+        self.tracer: Optional[Tracer] = (
+            Tracer(sample_rate=config.trace_sample_rate) if config.tracing else None
+        )
+        self.profiler: Optional[DispatchProfiler] = None
+        if config.tracing:
+            self.profiler = DispatchProfiler()
+            self.sim.dispatch_hook = self.profiler
+        self.network = Network(self.sim, self.rngs, counters=self.counters)
         self.metrics = MetricsCollector()
+        self.metrics.attach_counters(self.counters)
         self.auth = AuthRegistry()
         self.portfolio = PortfolioMatrix(default_cash=config.initial_cash)
         self.router = SymbolRouter(config.symbols, config.n_shards)
@@ -223,6 +238,9 @@ class CloudExCluster:
             gateway_names=[host.name for host in self.gateway_hosts],
             trade_sink=trade_sink,
             snapshot_sink=snapshot_sink,
+            tracer=self.tracer,
+            events=self.events,
+            counters=self.counters,
         )
         self.gateways: List[Gateway] = [
             Gateway(
@@ -232,6 +250,9 @@ class CloudExCluster:
                 engine_name=ENGINE,
                 auth=self.auth,
                 config=config,
+                tracer=self.tracer,
+                events=self.events,
+                counters=self.counters,
             )
             for host in self.gateway_hosts
         ]
@@ -253,6 +274,7 @@ class CloudExCluster:
                 metrics=self.metrics,
                 id_allocator=self.id_allocator,
                 history_client=self.history,
+                tracer=self.tracer,
             )
             self.exchange.register_participant(host.name, gateways[0])
             self.participants.append(participant)

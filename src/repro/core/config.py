@@ -198,6 +198,17 @@ class CloudExConfig:
     audit_trail: bool = False
 
     # ------------------------------------------------------------------
+    # Observability (repro.obs): per-order lifecycle tracing and the
+    # structured event log.  Tracing off is the production default; the
+    # counter registry is always on (plain integer adds).
+    # ------------------------------------------------------------------
+    tracing: bool = False
+    #: Fraction of orders traced (deterministic per-order hash, so the
+    #: same orders are sampled across runs regardless of seed).
+    trace_sample_rate: float = 1.0
+    event_log_capacity: int = 4096
+
+    # ------------------------------------------------------------------
     # Workload (traders attached by the cluster builder)
     # ------------------------------------------------------------------
     orders_per_participant_per_s: float = 450.0
@@ -290,6 +301,12 @@ class CloudExConfig:
             raise ValueError("delay parameters must be non-negative")
         if not 0 <= self.subscriptions_per_participant <= self.n_symbols:
             raise ValueError("subscriptions_per_participant outside [0, n_symbols]")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError(
+                f"trace_sample_rate must be in [0,1], got {self.trace_sample_rate}"
+            )
+        if self.event_log_capacity < 1:
+            raise ValueError("event_log_capacity must be positive")
         for name in ("market_order_fraction", "cancel_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

@@ -49,6 +49,8 @@ from repro.core.messages import (
 )
 from repro.core.metrics import MetricsCollector
 from repro.core.order import Order
+from repro.obs import events as obs_events
+from repro.obs import tracing
 from repro.core.portfolio import PortfolioMatrix
 from repro.core.risk import MarginRiskPolicy
 from repro.core.ros import RosDeduplicator
@@ -96,6 +98,7 @@ class EngineShard:
             on_eligible=self._maybe_start,
             delay_ns=server.config.sequencer_delay_ns,
             on_sample=server._on_sequencer_sample,
+            on_release=server._on_sequencer_release if server.tracer is not None else None,
         )
         self._book_service_ns = int(server.config.book_service_us * MICROSECOND)
         self._lock_service_ns = int(server.config.lock_service_us * MICROSECOND)
@@ -203,6 +206,7 @@ class BatchEngineShard:
             on_eligible=self._drain,
             delay_ns=server.config.sequencer_delay_ns,
             on_sample=server._on_sequencer_sample,
+            on_release=server._on_sequencer_release if server.tracer is not None else None,
         )
         self._cpu_per_order_ns = int(server.config.engine_cpu_per_order_us * MICROSECOND)
 
@@ -271,6 +275,9 @@ class CentralExchangeServer(Actor):
         gateway_names: Sequence[str],
         trade_sink: Optional[Callable[[TradeRecord, int], None]] = None,
         snapshot_sink: Optional[Callable[[object, int], None]] = None,
+        tracer=None,
+        events=None,
+        counters=None,
     ) -> None:
         super().__init__(sim, host.name)
         self.network = network
@@ -281,8 +288,19 @@ class CentralExchangeServer(Actor):
         self.metrics = metrics
         self.trade_sink = trade_sink
         self.snapshot_sink = snapshot_sink
+        self.tracer = tracer
+        self.events = events
         self.clock = host.clock
         self.rng = network.rngs.stream("engine:service")
+        self._ros_dups_counter = (
+            counters.counter("ros.duplicates_dropped") if counters is not None else None
+        )
+        self._ddp_adjust_counters = (
+            (counters.counter("ddp.inbound_adjustments"),
+             counters.counter("ddp.outbound_adjustments"))
+            if counters is not None
+            else None
+        )
 
         # Critical-path pools track their own utilization; Fig. 6b CPU
         # accounting is charged separately on host.cpu.
@@ -314,6 +332,11 @@ class CentralExchangeServer(Actor):
             shard_class(sim, self, shard_id, symbols, portfolio, trade_ids)
             for shard_id, symbols in enumerate(router.partition())
         ]
+        if counters is not None:
+            for shard in self.shards:
+                counters.gauge(
+                    f"engine.shard{shard.shard_id}.queue_depth", fn=shard.backlog_size
+                )
 
         self.d_h = config.holdrelease_delay_ns
         self._md_seq = itertools.count(1)
@@ -374,9 +397,23 @@ class CentralExchangeServer(Actor):
     def _apply_sequencer_delay(self, delay_ns: int) -> None:
         for shard in self.shards:
             shard.sequencer.set_delay(delay_ns)
+        if self._ddp_adjust_counters is not None:
+            self._ddp_adjust_counters[0].inc()
+        if self.events is not None:
+            self.events.emit(
+                self.sim.now, obs_events.Severity.INFO, self.name, "ddp.d_s",
+                f"sequencer delay set to {delay_ns} ns", delay_ns=delay_ns,
+            )
 
     def _apply_holdrelease_delay(self, delay_ns: int) -> None:
         self.d_h = delay_ns
+        if self._ddp_adjust_counters is not None:
+            self._ddp_adjust_counters[1].inc()
+        if self.events is not None:
+            self.events.emit(
+                self.sim.now, obs_events.Severity.INFO, self.name, "ddp.d_h",
+                f"hold/release delay set to {delay_ns} ns", delay_ns=delay_ns,
+            )
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -403,7 +440,23 @@ class CentralExchangeServer(Actor):
         key = (order.participant_id, order.client_order_id)
         if not self.dedup.admit(key, order.gateway_id, self.clock.now()):
             self.metrics.duplicates_dropped += 1
+            if self._ros_dups_counter is not None:
+                self._ros_dups_counter.inc()
+            if self.tracer is not None:
+                # Losing replica: recorded so ROS critical-path
+                # attribution can report the winner's margin.
+                self.tracer.span(
+                    order.participant_id, order.client_order_id, tracing.ROS_DEDUP,
+                    self.sim.now, self.clock.now(), self.name, detail=order.gateway_id,
+                )
             return
+        if self.tracer is not None:
+            # First replica through ingress: the winner (detail carries
+            # the gateway whose replica won).
+            self.tracer.span(
+                order.participant_id, order.client_order_id, tracing.ROS_DEDUP,
+                self.sim.now, self.clock.now(), self.name, detail=order.gateway_id,
+            )
         self.metrics.record_engine_receipt(
             order.participant_id, order.client_order_id, self.sim.now
         )
@@ -437,12 +490,33 @@ class CentralExchangeServer(Actor):
         if self.ddp_inbound is not None:
             self.ddp_inbound.on_sample(sample.out_of_sequence)
 
+    def _on_sequencer_release(self, item: _SequencedItem, eligible_local: int) -> None:
+        """Tracer hook: an item left a shard's sequencer (end of d_s hold).
+
+        ``eligible_local`` (when the hold expired) can precede the
+        dequeue when the shard was busy; it rides in ``detail`` so the
+        trace can split pure d_s hold from engine-busy queueing.
+        """
+        kind, payload = item
+        if kind != "order":
+            return
+        self.tracer.span(
+            payload.participant_id, payload.client_order_id, tracing.SEQ_HOLD,
+            self.sim.now, self.clock.now(), self.name,
+            detail=f"eligible_local={eligible_local}",
+        )
+
     # ------------------------------------------------------------------
     # Results and dissemination
     # ------------------------------------------------------------------
     def _emit_order_result(self, order: Order, result: MatchResult) -> None:
         self.host.cpu.charge("order", self._cpu_per_order_ns)
         self.metrics.orders_matched += 1
+        if self.tracer is not None:
+            self.tracer.span(
+                order.participant_id, order.client_order_id, tracing.MATCH,
+                self.sim.now, self.clock.now(), self.name,
+            )
         if result.confirmation.status is OrderStatus.REJECTED:
             self.metrics.rejects += 1
         if self.audit is not None:
@@ -488,6 +562,11 @@ class CentralExchangeServer(Actor):
     def _emit_batch_ack(self, order: Order, now_local: int) -> None:
         """Acknowledge an order buffered for the next auction."""
         self.metrics.orders_matched += 1
+        if self.tracer is not None:
+            self.tracer.span(
+                order.participant_id, order.client_order_id, tracing.MATCH,
+                self.sim.now, now_local, self.name, detail="batch-buffered",
+            )
         confirmation = OrderConfirmation(
             participant_id=order.participant_id,
             client_order_id=order.client_order_id,

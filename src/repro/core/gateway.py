@@ -32,13 +32,19 @@ from repro.core.messages import (
 )
 from repro.core.order import Order, OrderValidationError, validate_order
 from repro.core.types import OrderStatus, RejectReason
+from repro.obs import tracing
 from repro.sim.engine import Actor, Simulator
 from repro.sim.network import Host, Network
 from repro.sim.timeunits import MICROSECOND
 
 
 class Gateway(Actor):
-    """One gateway VM's logic."""
+    """One gateway VM's logic.
+
+    ``tracer``, ``events``, and ``counters`` are the optional
+    observability hooks (:mod:`repro.obs`); each defaults to None and
+    costs one ``is not None`` test on the paths it instruments.
+    """
 
     def __init__(
         self,
@@ -48,6 +54,9 @@ class Gateway(Actor):
         engine_name: str,
         auth: AuthRegistry,
         config: CloudExConfig,
+        tracer=None,
+        events=None,
+        counters=None,
     ) -> None:
         super().__init__(sim, host.name)
         self.network = network
@@ -55,6 +64,7 @@ class Gateway(Actor):
         self.engine_name = engine_name
         self.auth = auth
         self.config = config
+        self.tracer = tracer
         self.clock = host.clock
         self._seq = 0
         self._service_ns = int(config.gateway_service_us * MICROSECOND)
@@ -68,6 +78,8 @@ class Gateway(Actor):
             gateway_id=self.name,
             release=self._dispense_market_data,
             report=self._send_report,
+            events=events,
+            late_counter=counters.counter("hr.late_pieces") if counters is not None else None,
         )
         self.orders_handled = 0
         self.orders_rejected = 0
@@ -113,6 +125,15 @@ class Gateway(Actor):
             gateway_seq=self._seq,
             stamped_true=self.sim.now,
         )
+        if self.tracer is not None:
+            self.tracer.span(
+                order.participant_id,
+                order.client_order_id,
+                tracing.GW_INGRESS,
+                self.sim.now,
+                stamped.gateway_timestamp,
+                self.name,
+            )
         # The handler's processing time separates stamping (at arrival)
         # from forwarding.
         self.sim.schedule(self._service_ns, self._forward_order, stamped)
@@ -167,14 +188,30 @@ class Gateway(Actor):
         trade confirmations are held to their release time (step 7)."""
         release_at = getattr(confirmation, "release_at", None)
         if release_at is not None and release_at > self.clock.now():
-            self.clock.schedule_at_local(
-                release_at,
-                self.network.send,
-                self.name,
-                confirmation.participant_id,
-                confirmation,
-            )
+            if self.tracer is not None:
+                self.tracer.span(
+                    confirmation.participant_id,
+                    confirmation.client_order_id,
+                    tracing.HR_HOLD,
+                    self.sim.now,
+                    self.clock.now(),
+                    self.name,
+                )
+            self.clock.schedule_at_local(release_at, self._release_held, confirmation)
             return
+        self.network.send(self.name, confirmation.participant_id, confirmation)
+
+    def _release_held(self, confirmation) -> None:
+        """Dispatch a held trade confirmation at its release time."""
+        if self.tracer is not None:
+            self.tracer.span(
+                confirmation.participant_id,
+                confirmation.client_order_id,
+                tracing.MD_RELEASE,
+                self.sim.now,
+                self.clock.now(),
+                self.name,
+            )
         self.network.send(self.name, confirmation.participant_id, confirmation)
 
     # ------------------------------------------------------------------

@@ -39,6 +39,13 @@ class HoldReleaseBuffer:
     report:
         Called with a :class:`HoldReleaseReport` per piece; the gateway
         forwards these to the engine.
+    events:
+        Optional :class:`repro.obs.events.EventLog`; every late piece
+        (an unfair dissemination) is logged as a WARNING with its
+        lateness, so rare fairness violations leave replayable evidence.
+    late_counter:
+        Optional :class:`repro.obs.counters.Counter` incremented per
+        late piece.
     """
 
     def __init__(
@@ -48,12 +55,16 @@ class HoldReleaseBuffer:
         gateway_id: str,
         release: Callable[[MarketDataPiece, int], None],
         report: Optional[Callable[[HoldReleaseReport], None]] = None,
+        events=None,
+        late_counter=None,
     ) -> None:
         self.sim = sim
         self.clock = clock
         self.gateway_id = gateway_id
         self.release = release
         self.report = report
+        self.events = events
+        self.late_counter = late_counter
         self.held_count = 0
         self.late_count = 0
         self.total_hold_ns = 0
@@ -77,6 +88,21 @@ class HoldReleaseBuffer:
         self.total_hold_ns += hold_ns
         if late:
             self.late_count += 1
+            if self.late_counter is not None:
+                self.late_counter.inc()
+            if self.events is not None:
+                from repro.obs.events import Severity
+
+                self.events.emit(
+                    self.sim.now,
+                    Severity.WARNING,
+                    self.gateway_id,
+                    "hr.late_release",
+                    f"md piece {piece.seq} arrived {lateness_ns} ns past release",
+                    md_seq=piece.seq,
+                    symbol=piece.symbol,
+                    lateness_ns=lateness_ns,
+                )
         self.release(piece, self.clock.now())
         if self.report is not None:
             self.report(

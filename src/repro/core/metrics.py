@@ -30,9 +30,14 @@ from repro.sim.timeunits import MICROSECOND, SECOND
 
 
 def percentile_us(samples_ns: List[int], percentile: float) -> float:
-    """Percentile of a latency list, reported in microseconds."""
+    """Percentile of a latency list, reported in microseconds.
+
+    Empty sample lists yield the explicit empty sentinel 0.0 (matching
+    :meth:`LatencySummary.from_ns`'s ``count=0`` summary) so reports on
+    short runs render instead of crashing.
+    """
     if not samples_ns:
-        raise ValueError("no samples")
+        return 0.0
     return float(np.percentile(np.asarray(samples_ns, dtype=np.float64), percentile)) / MICROSECOND
 
 
@@ -46,11 +51,21 @@ class LatencySummary:
     p999_us: float
     mean_us: float
 
+    @property
+    def is_empty(self) -> bool:
+        """True for the no-samples sentinel (all fields zero)."""
+        return self.count == 0
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The explicit empty-summary sentinel."""
+        return cls(count=0, p50_us=0.0, p99_us=0.0, p999_us=0.0, mean_us=0.0)
+
     @classmethod
     def from_ns(cls, samples_ns: List[int]) -> "LatencySummary":
         array = np.asarray(samples_ns, dtype=np.float64)
         if array.size == 0:
-            return cls(count=0, p50_us=0.0, p99_us=0.0, p999_us=0.0, mean_us=0.0)
+            return cls.empty()
         return cls(
             count=int(array.size),
             p50_us=float(np.percentile(array, 50)) / MICROSECOND,
@@ -101,6 +116,19 @@ class MetricsCollector:
         # Window for throughput (set by the cluster runner).
         self.measure_start_true: int = 0
         self.measure_end_true: int = 0
+        # Optional repro.obs.counters.MetricsRegistry supplying
+        # operational counts (message loss) to summary().
+        self._counters = None
+
+    def attach_counters(self, registry) -> None:
+        """Expose a counter registry's operational counts in summary()."""
+        self._counters = registry
+
+    def messages_dropped(self) -> int:
+        """Messages dropped at downed hosts (0 without a registry)."""
+        if self._counters is None:
+            return 0
+        return int(self._counters.value("net.dropped_while_down"))
 
     def reset_window(self, now_true: int) -> None:
         """Start a fresh measurement window at ``now_true``.
@@ -273,6 +301,7 @@ class MetricsCollector:
             "trades_executed": float(self.trades_executed),
             "replicas_received": float(self.replicas_received),
             "duplicates_dropped": float(self.duplicates_dropped),
+            "messages_dropped": float(self.messages_dropped()),
             "throughput_per_s": self.throughput_per_s(),
             "submission_p50_us": submission.p50_us,
             "submission_p99_us": submission.p99_us,

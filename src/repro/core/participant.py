@@ -30,6 +30,7 @@ from repro.core.messages import (
 from repro.core.metrics import MetricsCollector
 from repro.core.order import ClientOrderIdAllocator, Order
 from repro.core.types import OrderStatus, OrderType, Price, Quantity, Side, Symbol, TimeInForce
+from repro.obs import tracing
 from repro.sim.engine import Actor, Simulator
 from repro.sim.network import Host, Network
 from repro.sim.timeunits import MICROSECOND
@@ -80,6 +81,7 @@ class Participant(Actor):
         metrics: MetricsCollector,
         id_allocator: ClientOrderIdAllocator,
         history_client=None,
+        tracer=None,
     ) -> None:
         super().__init__(sim, host.name)
         if not gateways:
@@ -97,6 +99,7 @@ class Participant(Actor):
         self.metrics = metrics
         self.ids = id_allocator
         self.history = history_client
+        self.tracer = tracer
         self.strategy = None
         self._cpu_per_replica_ns = int(config.participant_cpu_per_replica_us * MICROSECOND)
 
@@ -144,6 +147,11 @@ class Participant(Actor):
         self.working[order.client_order_id] = order
         self.orders_submitted += 1
         self.metrics.record_submission(self.name, order.client_order_id, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.begin_order(
+                self.name, order.client_order_id, symbol,
+                self.sim.now, self.host.clock.now(), self.name,
+            )
         request = NewOrderRequest(order=order, auth_token=self.auth_token)
         for gateway in self.gateways[: self.config.replication_factor]:
             self.host.cpu.charge("tx", self._cpu_per_replica_ns)
@@ -223,6 +231,11 @@ class Participant(Actor):
     def _on_confirmation(self, conf: OrderConfirmation) -> None:
         self.confirmations_received += 1
         self.metrics.record_confirmation(self.name, conf.client_order_id, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.span(
+                self.name, conf.client_order_id, tracing.CONFIRM_DELIVERY,
+                self.sim.now, self.host.clock.now(), self.name,
+            )
         if conf.status in (OrderStatus.FILLED, OrderStatus.REJECTED, OrderStatus.CANCELLED):
             self.working.pop(conf.client_order_id, None)
         if self.strategy is not None:

@@ -66,6 +66,10 @@ class Sequencer:
     on_sample:
         Optional callback receiving a :class:`SequencerSample` per
         dequeue -- wired to DDP and the metrics collector.
+    on_release:
+        Optional callback receiving ``(item, eligible_local)`` per
+        dequeue -- the item-identity hook samples deliberately lack,
+        wired to the lifecycle tracer's ``seq_hold`` span.
     """
 
     def __init__(
@@ -75,6 +79,7 @@ class Sequencer:
         on_eligible: Callable[[], None],
         delay_ns: int = 0,
         on_sample: Optional[Callable[[SequencerSample], None]] = None,
+        on_release: Optional[Callable[[Any, int], None]] = None,
     ) -> None:
         if delay_ns < 0:
             raise ValueError(f"d_s must be non-negative, got {delay_ns}")
@@ -83,6 +88,7 @@ class Sequencer:
         self.on_eligible = on_eligible
         self.delay_ns = delay_ns
         self.on_sample = on_sample
+        self.on_release = on_release
         # Heap entries: (priority_key, insertion_seq, item, stamped_true, enqueued_local)
         self._heap: List[tuple] = []
         self._seq = 0
@@ -152,6 +158,8 @@ class Sequencer:
         # matching-engine queueing, not sequencer hold.
         eligible_local = max(enqueued_local, key[0] + self.delay_ns)
         self._record_release(key[0], stamped_true, enqueued_local, eligible_local)
+        if self.on_release is not None:
+            self.on_release(item, eligible_local)
         return item
 
     def _record_release(

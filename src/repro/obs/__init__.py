@@ -1,0 +1,65 @@
+"""Observability: per-order tracing, structured events, counters.
+
+The paper's argument is about *where* an order spends its time --
+gateway ingress, sequencer hold (``d_s``), matching, H/R hold
+(``d_h``), confirmation delivery -- but aggregate metrics cannot
+attribute a p99.9 spike or an unfairness event to a pipeline stage.
+This package adds that attribution:
+
+- :mod:`repro.obs.tracing` -- one :class:`OrderTrace` per (sampled)
+  order, built from typed spans that carry both true simulator time
+  and the recording component's synced-clock estimate, so clock error
+  is itself observable.
+- :mod:`repro.obs.events` -- a bounded structured event log with JSONL
+  export, for replayable evidence of rare events (late releases,
+  crashes, DDP moves).
+- :mod:`repro.obs.counters` -- a named counter/gauge/histogram
+  registry components register into, plus an event-dispatch profiler
+  for the simulator's hot loop.
+- :mod:`repro.obs.breakdown` -- analysis turning traces into per-stage
+  latency decomposition tables and ROS critical-path attribution.
+
+Tracing is off by default (``CloudExConfig.tracing``); when disabled,
+components hold a ``None`` tracer and the hot path pays a single
+``is not None`` test.
+"""
+
+from repro.obs.counters import Counter, DispatchProfiler, Gauge, Histogram, MetricsRegistry
+from repro.obs.events import EventLog, ObsEvent, Severity
+from repro.obs.tracing import (
+    CONFIRM_DELIVERY,
+    GW_INGRESS,
+    HR_HOLD,
+    MATCH,
+    MD_RELEASE,
+    ROS_DEDUP,
+    SEQ_HOLD,
+    SPAN_KINDS,
+    SUBMIT,
+    OrderTrace,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DispatchProfiler",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsEvent",
+    "OrderTrace",
+    "Severity",
+    "Span",
+    "Tracer",
+    "SPAN_KINDS",
+    "SUBMIT",
+    "GW_INGRESS",
+    "ROS_DEDUP",
+    "SEQ_HOLD",
+    "MATCH",
+    "HR_HOLD",
+    "MD_RELEASE",
+    "CONFIRM_DELIVERY",
+]

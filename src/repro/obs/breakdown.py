@@ -1,0 +1,159 @@
+"""Latency decomposition: traces -> per-stage attribution tables.
+
+Where aggregate metrics say *how slow*, the breakdown says *where*.
+Stage durations are the true-time deltas between consecutive spans of
+a trace's critical chain (see :meth:`repro.obs.tracing.OrderTrace.chain`),
+so per order they telescope exactly to end-to-end latency: the table's
+mean column sums to the mean e2e latency.
+
+``clock_error_table`` compares each span's two timestamps: ``t_local``
+is what the recording component *believed* the time was, ``t_true`` is
+ground truth, so the spread per stage is the deployed clock-sync
+quality as experienced by the pipeline (engine-recorded stages sit on
+the reference clock and show ~0 error).
+
+``ros_attribution_table`` answers the ROS critical-path question:
+which gateway's replica won engine ingress, and by how much over the
+runner-up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.metrics import LatencySummary
+from repro.obs.tracing import CRITICAL_CHAIN, OrderTrace
+from repro.sim.timeunits import MICROSECOND
+
+#: (label, from_kind, to_kind) for each critical-path stage, in order.
+STAGES: Tuple[Tuple[str, str, str], ...] = tuple(
+    (f"{src}->{dst}", src, dst) for src, dst in zip(CRITICAL_CHAIN, CRITICAL_CHAIN[1:])
+)
+
+END_TO_END = "end_to_end"
+
+
+def stage_durations_ns(trace: OrderTrace) -> Optional[Dict[str, int]]:
+    """Per-stage durations for one completed trace, or None."""
+    chain = trace.chain()
+    if chain is None:
+        return None
+    durations = {
+        label: chain[i + 1].t_true - chain[i].t_true
+        for i, (label, _, _) in enumerate(STAGES)
+    }
+    durations[END_TO_END] = chain[-1].t_true - chain[0].t_true
+    return durations
+
+
+def decompose(traces: Iterable[OrderTrace]) -> Dict[str, List[int]]:
+    """Stage-duration samples across traces (incomplete traces skipped)."""
+    samples: Dict[str, List[int]] = {label: [] for label, _, _ in STAGES}
+    samples[END_TO_END] = []
+    for trace in traces:
+        durations = stage_durations_ns(trace)
+        if durations is None:
+            continue
+        for label, value in durations.items():
+            samples[label].append(value)
+    return samples
+
+
+def breakdown_table(traces: Sequence[OrderTrace]) -> str:
+    """The per-stage latency decomposition table (p50/p99/p99.9/mean)."""
+    samples = decompose(traces)
+    rows: List[List[str]] = []
+    for label, _, _ in STAGES:
+        summary = LatencySummary.from_ns(samples[label])
+        rows.append(
+            [
+                label,
+                f"{summary.count}",
+                f"{summary.p50_us:.1f}",
+                f"{summary.p99_us:.1f}",
+                f"{summary.p999_us:.1f}",
+                f"{summary.mean_us:.1f}",
+            ]
+        )
+    e2e = LatencySummary.from_ns(samples[END_TO_END])
+    rows.append(
+        [
+            END_TO_END,
+            f"{e2e.count}",
+            f"{e2e.p50_us:.1f}",
+            f"{e2e.p99_us:.1f}",
+            f"{e2e.p999_us:.1f}",
+            f"{e2e.mean_us:.1f}",
+        ]
+    )
+    return format_table(
+        ["stage", "count", "p50 (us)", "p99 (us)", "p99.9 (us)", "mean (us)"], rows
+    )
+
+
+def clock_error_table(traces: Sequence[OrderTrace]) -> str:
+    """Per-span-kind |t_local - t_true|: synced-clock error by stage."""
+    errors: Dict[str, List[int]] = {}
+    for trace in traces:
+        for span in trace.spans:
+            errors.setdefault(span.kind, []).append(span.clock_error_ns)
+    rows: List[List[str]] = []
+    for kind in sorted(errors):
+        values = np.asarray(errors[kind], dtype=np.float64)
+        absolute = np.abs(values)
+        rows.append(
+            [
+                kind,
+                f"{values.size}",
+                f"{float(np.mean(absolute)):,.0f}",
+                f"{float(np.max(absolute)):,.0f}",
+            ]
+        )
+    return format_table(["span", "count", "mean |err| (ns)", "max |err| (ns)"], rows)
+
+
+def ros_attribution(traces: Iterable[OrderTrace]) -> Dict[str, Dict[str, float]]:
+    """Per-gateway ROS wins and win margins.
+
+    Returns ``{gateway: {"wins": n, "mean_margin_us": m}}`` where the
+    margin is the winner's engine-arrival lead over the runner-up
+    replica (only defined when >= 2 replicas arrived).
+    """
+    wins: Dict[str, int] = {}
+    margins: Dict[str, List[int]] = {}
+    for trace in traces:
+        gateway = trace.winning_gateway
+        if gateway is None:
+            continue
+        wins[gateway] = wins.get(gateway, 0) + 1
+        margin = trace.ros_margin_ns()
+        if margin is not None:
+            margins.setdefault(gateway, []).append(margin)
+    out: Dict[str, Dict[str, float]] = {}
+    for gateway in sorted(wins):
+        gateway_margins = margins.get(gateway, [])
+        out[gateway] = {
+            "wins": float(wins[gateway]),
+            "mean_margin_us": (
+                float(np.mean(gateway_margins)) / MICROSECOND if gateway_margins else 0.0
+            ),
+        }
+    return out
+
+
+def ros_attribution_table(traces: Sequence[OrderTrace]) -> str:
+    attribution = ros_attribution(traces)
+    total = sum(stats["wins"] for stats in attribution.values()) or 1.0
+    rows = [
+        [
+            gateway,
+            f"{stats['wins']:.0f}",
+            f"{stats['wins'] / total:.1%}",
+            f"{stats['mean_margin_us']:.1f}",
+        ]
+        for gateway, stats in attribution.items()
+    ]
+    return format_table(["winning gateway", "wins", "share", "mean margin (us)"], rows)

@@ -1,0 +1,214 @@
+"""Named counters, gauges, and histograms, plus a dispatch profiler.
+
+A :class:`MetricsRegistry` is the operational-counter complement to
+the ground-truth :class:`~repro.core.metrics.MetricsCollector`:
+components register named instruments (ROS duplicates dropped,
+messages dropped while a host is down, DDP delay adjustments,
+per-shard queue depth) and the registry renders one flat snapshot.
+
+Gauges may wrap a callback so sampled state (queue depths) is read at
+snapshot time rather than pushed on the hot path.  Histograms keep a
+bounded prefix of observations (plus exact count/sum/min/max), which
+keeps memory constant on long runs while preserving percentiles for
+the short diagnostic runs the trace CLI performs.
+
+:class:`DispatchProfiler` hooks the simulator's event loop
+(:attr:`repro.sim.engine.Simulator.dispatch_hook`) and counts events
+per callback, answering "what is the event loop actually doing" --
+counts only, so profiling never perturbs determinism.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+# NOTE: repro.analysis is imported lazily inside the as_table methods;
+# a top-level import would cycle (core modules import repro.obs, and
+# repro.analysis.__init__ imports repro.core.cluster).
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value: pushed via :meth:`set` or pulled via a callback."""
+
+    __slots__ = ("name", "_value", "_fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None) -> None:
+        self.name = name
+        self._value = 0.0
+        self._fn = fn
+
+    def set(self, value: float) -> None:
+        if self._fn is not None:
+            raise ValueError(f"gauge {self.name!r} is callback-backed; cannot set")
+        self._value = value
+
+    def read(self) -> float:
+        return float(self._fn()) if self._fn is not None else self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.read()})"
+
+
+class Histogram:
+    """Bounded-memory distribution of observations."""
+
+    __slots__ = ("name", "max_samples", "_samples", "count", "total", "min", "max")
+
+    def __init__(self, name: str, max_samples: int = 10_000) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be positive, got {max_samples}")
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Percentile over the retained prefix (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples, dtype=np.float64), q))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.1f})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent per name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            self._check_fresh(name)
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            self._check_fresh(name)
+            gauge = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            raise ValueError(f"gauge {name!r} already registered; cannot rebind callback")
+        return gauge
+
+    def histogram(self, name: str, max_samples: int = 10_000) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            self._check_fresh(name)
+            histogram = self._histograms[name] = Histogram(name, max_samples)
+        return histogram
+
+    def _check_fresh(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(f"instrument {name!r} already registered with another type")
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, default: float = 0.0) -> float:
+        """The current value of a counter or gauge, by name."""
+        if name in self._counters:
+            return float(self._counters[name].value)
+        if name in self._gauges:
+            return self._gauges[name].read()
+        return default
+
+    def snapshot(self) -> Dict[str, float]:
+        """All instruments flattened to floats, sorted by name."""
+        out: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = float(counter.value)
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.read()
+        for name, histogram in self._histograms.items():
+            out[f"{name}.count"] = float(histogram.count)
+            out[f"{name}.mean"] = histogram.mean
+            out[f"{name}.p99"] = histogram.percentile(99)
+        return dict(sorted(out.items()))
+
+    def as_table(self) -> str:
+        from repro.analysis.tables import format_table
+
+        rows = [[name, f"{value:,.1f}"] for name, value in self.snapshot().items()]
+        return format_table(["instrument", "value"], rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+class DispatchProfiler:
+    """Counts simulator events per callback qualname.
+
+    Install with ``sim.dispatch_hook = profiler``; the profiler is
+    callable and receives each event just before it runs.
+    """
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+
+    def __call__(self, event) -> None:
+        name = getattr(event.fn, "__qualname__", repr(event.fn))
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self.total += 1
+
+    def top(self, n: int = 10) -> List[tuple]:
+        """The ``n`` most dispatched callbacks as (name, count, share)."""
+        ranked = sorted(self.counts.items(), key=lambda kv: (-kv[1], kv[0]))[:n]
+        return [(name, count, count / self.total if self.total else 0.0) for name, count in ranked]
+
+    def as_table(self, n: int = 10) -> str:
+        from repro.analysis.tables import format_table
+
+        rows = [
+            [name, f"{count:,}", f"{share:.1%}"] for name, count, share in self.top(n)
+        ]
+        return format_table(["event callback", "dispatches", "share"], rows)
+
+    def __repr__(self) -> str:
+        return f"DispatchProfiler(total={self.total}, callbacks={len(self.counts)})"

@@ -84,6 +84,10 @@ class Simulator:
         self._running: bool = False
         self._stopped: bool = False
         self.events_processed: int = 0
+        #: Optional profiling hook called with each event just before
+        #: it executes (see :class:`repro.obs.counters.DispatchProfiler`).
+        #: Must not mutate simulation state.
+        self.dispatch_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -150,6 +154,8 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self.now = event.time
+                if self.dispatch_hook is not None:
+                    self.dispatch_hook(event)
                 event.fn(*event.args)
                 processed += 1
                 self.events_processed += 1
@@ -165,6 +171,8 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            if self.dispatch_hook is not None:
+                self.dispatch_hook(event)
             event.fn(*event.args)
             self.events_processed += 1
             return True

@@ -49,6 +49,7 @@ class Host:
         name: str,
         clock: HostClock,
         baseline_cores: float = 0.0,
+        drop_counter=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -57,6 +58,9 @@ class Host:
         self.actor: Optional[Actor] = None
         self.up: bool = True
         self.dropped_while_down: int = 0
+        #: Optional shared :class:`repro.obs.counters.Counter` so
+        #: fault-injection runs report loss instead of hiding it.
+        self.drop_counter = drop_counter
 
     def bind(self, actor: Actor) -> None:
         """Attach the actor that handles this host's inbound messages."""
@@ -76,6 +80,8 @@ class Host:
         """Hand a just-arrived message to the bound actor."""
         if not self.up:
             self.dropped_while_down += 1
+            if self.drop_counter is not None:
+                self.drop_counter.inc()
             return
         if self.actor is None:
             raise RuntimeError(f"host {self.name!r} has no bound actor for {message.payload!r}")
@@ -136,11 +142,16 @@ class Link:
 class Network:
     """The fabric: a registry of hosts and directed links."""
 
-    def __init__(self, sim: Simulator, rngs: RngRegistry) -> None:
+    def __init__(self, sim: Simulator, rngs: RngRegistry, counters=None) -> None:
         self.sim = sim
         self.rngs = rngs
         self.hosts: Dict[str, Host] = {}
         self.links: Dict[Tuple[str, str], Link] = {}
+        # One shared drop counter for every host (created lazily so a
+        # bare Network without a registry stays dependency-free).
+        self._drop_counter = (
+            counters.counter("net.dropped_while_down") if counters is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -156,7 +167,10 @@ class Network:
         if name in self.hosts:
             raise ValueError(f"duplicate host name {name!r}")
         clock = HostClock(self.sim, drift_ppb=drift_ppb, offset_ns=offset_ns)
-        host = Host(self.sim, name, clock, baseline_cores=baseline_cores)
+        host = Host(
+            self.sim, name, clock, baseline_cores=baseline_cores,
+            drop_counter=self._drop_counter,
+        )
         self.hosts[name] = host
         return host
 

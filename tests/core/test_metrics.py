@@ -144,5 +144,13 @@ class TestLatencySummary:
 
     def test_percentile_us_helper(self):
         assert percentile_us([1000, 2000, 3000], 50) == pytest.approx(2.0)
-        with pytest.raises(ValueError):
-            percentile_us([], 50)
+        # Empty input is a defined sentinel, not an error: summaries of
+        # windows with no samples render as zeros.
+        assert percentile_us([], 50) == 0.0
+
+    def test_empty_sentinel(self):
+        summary = LatencySummary.empty()
+        assert summary.is_empty
+        assert summary.count == 0
+        assert summary.p999_us == 0.0
+        assert not LatencySummary.from_ns([1000]).is_empty

@@ -1,0 +1,77 @@
+"""Unit tests for repro.obs.breakdown (synthetic traces)."""
+
+from repro.obs import tracing
+from repro.obs.breakdown import (
+    END_TO_END,
+    STAGES,
+    breakdown_table,
+    clock_error_table,
+    decompose,
+    ros_attribution,
+    ros_attribution_table,
+    stage_durations_ns,
+)
+from repro.obs.tracing import Tracer
+
+
+def build_trace(tracer, participant, order_id, base, winner="g01", loser="g00"):
+    """One complete synthetic trace with round-number stage durations."""
+    tracer.begin_order(participant, order_id, "SYM0", base, base - 5, participant)
+    tracer.span(participant, order_id, tracing.GW_INGRESS, base + 100, base + 101, winner)
+    tracer.span(participant, order_id, tracing.GW_INGRESS, base + 130, base + 129, loser)
+    tracer.span(participant, order_id, tracing.ROS_DEDUP, base + 300, base + 300, "engine", detail=winner)
+    tracer.span(participant, order_id, tracing.ROS_DEDUP, base + 350, base + 350, "engine", detail=loser)
+    tracer.span(participant, order_id, tracing.SEQ_HOLD, base + 700, base + 700, "engine")
+    tracer.span(participant, order_id, tracing.MATCH, base + 750, base + 750, "engine")
+    tracer.span(participant, order_id, tracing.CONFIRM_DELIVERY, base + 900, base + 893, participant)
+
+
+class TestStageDurations:
+    def test_durations_telescope_to_e2e(self):
+        tracer = Tracer()
+        build_trace(tracer, "p00", 1, base=1000)
+        trace = tracer.get("p00", 1)
+        durations = stage_durations_ns(trace)
+        assert durations is not None
+        stage_sum = sum(durations[label] for label, _, _ in STAGES)
+        assert stage_sum == durations[END_TO_END] == trace.e2e_ns() == 900
+
+    def test_incomplete_trace_skipped(self):
+        tracer = Tracer()
+        tracer.begin_order("p00", 1, "SYM0", 0, 0, "p00")
+        assert stage_durations_ns(tracer.get("p00", 1)) is None
+        samples = decompose(tracer.all_traces())
+        assert samples[END_TO_END] == []
+
+
+class TestTables:
+    def test_breakdown_table_content(self):
+        tracer = Tracer()
+        for i in range(3):
+            build_trace(tracer, "p00", i, base=i * 10_000)
+        table = breakdown_table(tracer.completed_traces())
+        for label, _, _ in STAGES:
+            assert label in table
+        assert END_TO_END in table
+        # 900 ns e2e == 0.9 us, identical for all three traces.
+        assert "0.9" in table
+
+    def test_clock_error_table(self):
+        tracer = Tracer()
+        build_trace(tracer, "p00", 1, base=1000)
+        table = clock_error_table(tracer.all_traces())
+        assert tracing.SUBMIT in table
+        assert tracing.MATCH in table
+
+    def test_ros_attribution(self):
+        tracer = Tracer()
+        build_trace(tracer, "p00", 1, base=0, winner="g01", loser="g00")
+        build_trace(tracer, "p00", 2, base=10_000, winner="g01", loser="g00")
+        build_trace(tracer, "p00", 3, base=20_000, winner="g00", loser="g01")
+        attribution = ros_attribution(tracer.completed_traces())
+        assert attribution["g01"]["wins"] == 2.0
+        assert attribution["g00"]["wins"] == 1.0
+        # Winner leads the runner-up by 50 ns = 0.05 us in build_trace.
+        assert attribution["g01"]["mean_margin_us"] == 0.05
+        table = ros_attribution_table(tracer.completed_traces())
+        assert "g01" in table and "66.7%" in table

@@ -1,0 +1,68 @@
+"""Unit tests for repro.obs.events."""
+
+import pytest
+
+from repro.obs import EventLog, ObsEvent, Severity
+
+
+class TestEventLog:
+    def test_emit_and_read(self):
+        log = EventLog()
+        log.emit(100, Severity.INFO, "engine", "ddp.d_s", "d_s adjusted", new_us=450.0)
+        assert len(log) == 1
+        event = log.events()[0]
+        assert event.component == "engine"
+        assert event.fields == {"new_us": 450.0}
+
+    def test_ring_bound_drops_oldest(self):
+        log = EventLog(capacity=3)
+        for i in range(5):
+            log.emit(i, Severity.DEBUG, "c", "k", f"m{i}")
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [e.message for e in log.events()] == ["m2", "m3", "m4"]
+        # Severity counts track everything emitted, not just retained.
+        assert log.counts_by_severity[Severity.DEBUG] == 5
+
+    def test_severity_and_component_filters(self):
+        log = EventLog()
+        log.emit(1, Severity.DEBUG, "gw", "a", "low")
+        log.emit(2, Severity.WARNING, "gw", "b", "warn")
+        log.emit(3, Severity.ERROR, "engine", "c", "err")
+        assert [e.message for e in log.events(min_severity=Severity.WARNING)] == ["warn", "err"]
+        assert [e.message for e in log.events(component="gw")] == ["low", "warn"]
+        assert [e.message for e in log.events(kind="c")] == ["err"]
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit(7, Severity.WARNING, "g00", "hr.late_release", "late", md_seq=3, lateness_ns=120)
+        path = tmp_path / "events.jsonl"
+        log.dump_jsonl(path)
+        loaded = EventLog.load_jsonl(path)
+        assert loaded == log.events()
+        assert loaded[0].severity is Severity.WARNING
+        assert loaded[0].fields["lateness_ns"] == 120
+
+    def test_from_events_rebuilds(self):
+        log = EventLog()
+        log.emit(1, Severity.INFO, "c", "k", "m")
+        rebuilt = EventLog.from_events(log.events())
+        assert rebuilt.events() == log.events()
+
+    def test_dumps_deterministic(self):
+        def build():
+            log = EventLog()
+            log.emit(1, Severity.INFO, "c", "k", "m", b=2, a=1)
+            return log.dumps_jsonl()
+
+        assert build() == build()
+
+    def test_event_round_trip_dict(self):
+        event = ObsEvent(5, Severity.ERROR, "x", "y", "z", fields={"q": 1})
+        assert ObsEvent.from_dict(event.to_dict()) == event

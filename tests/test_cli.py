@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import build_parser, main
+from repro.__main__ import build_parser, build_trace_parser, main
 
 
 class TestParser:
@@ -41,6 +41,31 @@ class TestMain:
         out = capsys.readouterr().out
         assert "CloudEx run" in out
         assert "orders matched" in out
+
+    def test_trace_subcommand(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "trace",
+                "--duration", "0.2",
+                "--seed", "7",
+                "--clock-sync", "perfect",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Latency breakdown" in out
+        assert "end_to_end" in out
+        assert "ROS critical-path attribution" in out
+        assert out_path.exists()
+        assert out_path.read_text().startswith("{")
+
+    def test_trace_parser_defaults(self):
+        args = build_trace_parser().parse_args([])
+        assert args.rf == 2
+        assert args.sample_rate == 1.0
+        assert args.out == "trace.jsonl"
 
     def test_batch_mode_runs(self, capsys):
         code = main(
