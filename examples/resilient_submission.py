@@ -7,16 +7,22 @@ Two demonstrations on one deployment shape:
    order through 3 gateways (RF = 3) lets the engine take the earliest
    replica, collapsing the latency tail (cf. Fig. 6a).
 2. *Crash fault tolerance*: mid-run, a participant's primary gateway
-   crashes.  With RF = 1 its orders vanish; with RF = 2 trading simply
-   continues through the replica path.
+   crashes -- injected declaratively through a ``repro.chaos`` fault
+   schedule rather than poking the host by hand.  With RF = 1 its
+   orders vanish; with RF = 2 trading simply continues through the
+   replica path.  (``python -m repro chaos`` runs the full
+   invariant-checked versions of this scenario.)
 
 Run:  python examples/resilient_submission.py
 """
 
+from typing import Optional
+
 from repro import CloudExCluster, CloudExConfig
+from repro.chaos import FaultSchedule, HostCrash
 
 
-def build(rf: int) -> CloudExCluster:
+def build(rf: int, chaos: Optional[FaultSchedule] = None) -> CloudExCluster:
     config = CloudExConfig(
         seed=33,
         n_participants=12,
@@ -27,6 +33,7 @@ def build(rf: int) -> CloudExCluster:
         straggler_multiplier=4.0,
         orders_per_participant_per_s=300.0,
         subscriptions_per_participant=2,
+        chaos=chaos,
     )
     cluster = CloudExCluster(config)
     cluster.add_default_workload()
@@ -47,15 +54,16 @@ def main() -> None:
 
     print("\nPart 2: a gateway crash mid-session")
     for rf in (1, 2):
-        cluster = build(rf)
+        # The crash is a declarative, seed-reproducible chaos schedule:
+        # the participant's primary gateway (p00 -> g00) goes down at
+        # t=1.0s and stays down.
+        cluster = build(rf, chaos=FaultSchedule((HostCrash("g00", at_s=1.0),)))
         victim = cluster.participant(0)
+        crashed = victim.primary_gateway
         cluster.run(duration_s=1.0)
-        before = cluster.portfolio.account(victim.name)
         orders_before = victim.orders_submitted
         confs_before = victim.confirmations_received
 
-        crashed = victim.primary_gateway
-        cluster.network.host(crashed).crash()
         cluster.run(duration_s=1.0)
 
         submitted = victim.orders_submitted - orders_before

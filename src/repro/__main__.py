@@ -8,6 +8,11 @@ knobs; see ``python -m repro --help``.
 lifecycle tracing enabled and prints the latency breakdown, clock
 error, ROS attribution, and operational-counter tables, writing the
 raw traces to a JSONL file; see ``python -m repro trace --help``.
+
+``python -m repro chaos`` runs a deterministic fault-injection
+scenario (gateway crashes, latency storms, partitions, clock steps)
+and prints the chaos report with its invariant findings; see
+``python -m repro chaos --help``.
 """
 
 from __future__ import annotations
@@ -24,6 +29,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run a simulated CloudEx fair-access exchange and print a report.",
+        epilog=(
+            "subcommands:\n"
+            "  trace   run with per-order lifecycle tracing and print the\n"
+            "          latency/clock/ROS breakdown tables\n"
+            "  chaos   run a deterministic fault-injection scenario and\n"
+            "          print the invariant-checked chaos report\n"
+            "\n"
+            "see `python -m repro <subcommand> --help` for their options"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--participants", type=int, default=12)
@@ -127,11 +142,61 @@ def trace_main(argv=None) -> int:
     return 0
 
 
+def build_chaos_parser() -> argparse.ArgumentParser:
+    from repro.chaos import available_scenarios
+
+    scenario_lines = "\n".join(
+        f"  {name:28s}{description}" for name, description in available_scenarios()
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description=(
+            "Run a deterministic fault-injection scenario against a CloudEx "
+            "cluster and print the invariant-checked chaos report."
+        ),
+        epilog=f"scenarios:\n{scenario_lines}",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--scenario",
+        default="smoke",
+        metavar="NAME",
+        help="scenario to run (see list below; default: smoke)",
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any invariant was violated",
+    )
+    return parser
+
+
+def chaos_main(argv=None) -> int:
+    from repro.chaos import available_scenarios, run_scenario
+
+    args = build_chaos_parser().parse_args(argv)
+    if args.list:
+        for name, description in available_scenarios():
+            print(f"{name:28s}{description}")
+        return 0
+    result = run_scenario(args.scenario, seed=args.seed)
+    report = result.report
+    print(report.to_json() if args.json else report.as_text())
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = CloudExConfig(
         seed=args.seed,

@@ -110,6 +110,13 @@ class CloudExCluster:
         self.agents: List = []
         self._ran_ns = 0
         self._cpu_window_start = 0
+        # Fault injection (repro.chaos): built only when a schedule is
+        # configured, armed on the first run() call.
+        self.chaos = None
+        if config.chaos is not None:
+            from repro.chaos.injector import ChaosInjector
+
+            self.chaos = ChaosInjector(self, config.chaos)
 
     # ------------------------------------------------------------------
     # Topology
@@ -185,13 +192,16 @@ class CloudExCluster:
     def replica_gateways(self, participant_index: int) -> List[str]:
         """The ordered gateway set for one participant (primary first).
 
-        The list always has ``n_gateways``-capped length ``max(rf, 1)``
-        plus headroom: we wire links for up to the configured
-        replication factor.
+        Links are wired for the configured replication factor; with
+        gateway failover enabled, one extra standby gateway is wired so
+        demoting a dead primary still leaves ``rf`` live gateways to
+        fan out to.
         """
         config = self.config
         primary = participant_index % config.n_gateways
         count = config.replication_factor
+        if config.gateway_failover:
+            count = min(config.n_gateways, count + 1)
         return [gateway_name((primary + k) % config.n_gateways) for k in range(count)]
 
     def _build_links(self) -> None:
@@ -275,6 +285,7 @@ class CloudExCluster:
                 id_allocator=self.id_allocator,
                 history_client=self.history,
                 tracer=self.tracer,
+                events=self.events,
             )
             self.exchange.register_participant(host.name, gateways[0])
             self.participants.append(participant)
@@ -419,6 +430,8 @@ class CloudExCluster:
                 self.clock_sync.warm_start(rounds=self.config.sync_warm_start_rounds)
                 self.clock_sync.start()
             self.exchange.start()
+            if self.chaos is not None:
+                self.chaos.arm()
             self.metrics.measure_start_true = self.sim.now
         until = self._ran_ns + int(duration_s * SECOND)
         self.sim.run(until=until)

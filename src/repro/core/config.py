@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
+from repro.chaos.schedule import FaultSchedule
 from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
 
 
@@ -93,6 +94,27 @@ class CloudExConfig:
     # ROS (paper §3)
     # ------------------------------------------------------------------
     replication_factor: int = 1
+    #: Engine-side dedup-table entry lifetime.  Retries make this load-
+    #: bearing: an entry swept before a retry arrives would let the
+    #: same order execute twice (see repro.chaos invariant checks).
+    ros_dedup_ttl_s: float = 5.0
+
+    # ------------------------------------------------------------------
+    # Fault tolerance (repro.chaos): ack-timeout detection, retry with
+    # backoff, and gateway failover.  ``ack_timeout_ms = None`` disables
+    # the whole reaction path -- participants then pay nothing and seed
+    # behaviour is bit-for-bit unchanged.
+    # ------------------------------------------------------------------
+    ack_timeout_ms: Optional[float] = None
+    ack_retry_backoff: float = 2.0
+    ack_max_retries: int = 2
+    #: Promote a replica gateway to primary after repeated ack timeouts
+    #: (requires the participant to be wired to >= 2 gateways).
+    gateway_failover: bool = False
+    failover_after_timeouts: int = 2
+    #: Declarative fault schedule armed by the cluster on first run()
+    #: (None = no chaos; see repro.chaos.schedule.FaultSchedule).
+    chaos: Optional[FaultSchedule] = None
 
     # ------------------------------------------------------------------
     # Network latency models (one-way): hard floor + gamma jitter +
@@ -262,6 +284,16 @@ class CloudExConfig:
         return int(self.injected_phase_seconds * SECOND)
 
     @property
+    def ack_timeout_ns(self) -> Optional[int]:
+        if self.ack_timeout_ms is None:
+            return None
+        return int(self.ack_timeout_ms * MILLISECOND)
+
+    @property
+    def ros_dedup_ttl_ns(self) -> int:
+        return int(self.ros_dedup_ttl_s * SECOND)
+
+    @property
     def aggregate_order_rate(self) -> float:
         """Offered orders/second across all participants."""
         return self.n_participants * self.orders_per_participant_per_s
@@ -307,6 +339,22 @@ class CloudExConfig:
             )
         if self.event_log_capacity < 1:
             raise ValueError("event_log_capacity must be positive")
+        if self.ros_dedup_ttl_s <= 0:
+            raise ValueError("ros_dedup_ttl_s must be positive")
+        if self.ack_timeout_ms is not None and self.ack_timeout_ms <= 0:
+            raise ValueError("ack_timeout_ms must be positive (or None to disable)")
+        if self.ack_retry_backoff < 1.0:
+            raise ValueError("ack_retry_backoff must be >= 1")
+        if self.ack_max_retries < 0:
+            raise ValueError("ack_max_retries must be non-negative")
+        if self.failover_after_timeouts < 1:
+            raise ValueError("failover_after_timeouts must be >= 1")
+        if self.gateway_failover and self.ack_timeout_ms is None:
+            raise ValueError("gateway_failover requires ack_timeout_ms to be set")
+        if self.gateway_failover and self.n_gateways < 2:
+            raise ValueError("gateway_failover requires at least two gateways")
+        if self.chaos is not None and not isinstance(self.chaos, FaultSchedule):
+            raise ValueError(f"chaos must be a FaultSchedule, got {type(self.chaos).__name__}")
         for name in ("market_order_fraction", "cancel_fraction"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:

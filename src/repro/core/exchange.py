@@ -295,6 +295,9 @@ class CentralExchangeServer(Actor):
         self._ros_dups_counter = (
             counters.counter("ros.duplicates_dropped") if counters is not None else None
         )
+        self._replay_counter = (
+            counters.counter("ros.confirmations_replayed") if counters is not None else None
+        )
         self._ddp_adjust_counters = (
             (counters.counter("ddp.inbound_adjustments"),
              counters.counter("ddp.outbound_adjustments"))
@@ -325,7 +328,18 @@ class CentralExchangeServer(Actor):
                 halt_ns=int(config.halt_duration_ms * 1_000_000),
             )
 
-        self.dedup = RosDeduplicator()
+        self.dedup = RosDeduplicator(ttl_ns=config.ros_dedup_ttl_ns)
+        # Crash-safe recovery (repro.chaos): when participants retry on
+        # ack timeout, a duplicate replica may mean "the confirmation
+        # was lost with a crashed gateway" -- remember results and
+        # replay them instead of dropping the duplicate silently.  Off
+        # (and zero-cost beyond the flag test) when retries are off, so
+        # RF > 1 duplicate replicas keep their seed behaviour.
+        self._replay_confirmations = config.ack_timeout_ms is not None
+        # Optional repro.chaos.invariants hooks: called with each
+        # admitted order / executed trade.  None costs one test.
+        self.admit_listener: Optional[Callable[[Order], None]] = None
+        self.trade_listener: Optional[Callable[[TradeRecord], None]] = None
         trade_ids = itertools.count(1)
         shard_class = EngineShard if config.matching_mode == "continuous" else BatchEngineShard
         self.shards = [
@@ -449,7 +463,18 @@ class CentralExchangeServer(Actor):
                     order.participant_id, order.client_order_id, tracing.ROS_DEDUP,
                     self.sim.now, self.clock.now(), self.name, detail=order.gateway_id,
                 )
+            if self._replay_confirmations:
+                # A duplicate under the retry regime may be a resend
+                # whose original confirmation died with a gateway:
+                # answer it through the replica's (live) gateway.
+                replay = self.dedup.result(key)
+                if replay is not None and order.gateway_id:
+                    if self._replay_counter is not None:
+                        self._replay_counter.inc()
+                    self.network.send(self.name, order.gateway_id, replay)
             return
+        if self.admit_listener is not None:
+            self.admit_listener(order)
         if self.tracer is not None:
             # First replica through ingress: the winner (detail carries
             # the gateway whose replica won).
@@ -521,6 +546,10 @@ class CentralExchangeServer(Actor):
             self.metrics.rejects += 1
         if self.audit is not None:
             self._audit_order_result(order, result)
+        if self._replay_confirmations:
+            self.dedup.record_result(
+                (order.participant_id, order.client_order_id), result.confirmation
+            )
         gateway = order.gateway_id or self._primary_gateway.get(order.participant_id)
         if gateway is not None:
             self.network.send(self.name, gateway, result.confirmation)
@@ -552,6 +581,8 @@ class CentralExchangeServer(Actor):
             trade_conf.release_at = release_at
             self._route_to_participant(trade_conf)
         for trade in trades:
+            if self.trade_listener is not None:
+                self.trade_listener(trade)
             if self.trade_sink is not None:
                 self.trade_sink(trade, now_local)
             self._publish(trade.symbol, trade)

@@ -65,6 +65,7 @@ class Gateway(Actor):
         self.auth = auth
         self.config = config
         self.tracer = tracer
+        self.events = events
         self.clock = host.clock
         self._seq = 0
         self._service_ns = int(config.gateway_service_us * MICROSECOND)
@@ -83,7 +84,33 @@ class Gateway(Actor):
         )
         self.orders_handled = 0
         self.orders_rejected = 0
+        self.restarts = 0
         host.bind(self)
+
+    # ------------------------------------------------------------------
+    # Crash recovery (repro.chaos)
+    # ------------------------------------------------------------------
+    def rejoin(self) -> None:
+        """Recover after a crash window (the host is already back up).
+
+        A restarted gateway process lost its in-memory state: held
+        market data is discarded (the engine's H/R aggregation simply
+        never hears about those pieces) and the stamping sequence
+        continues monotonically -- correctness for in-flight orders
+        rests on participants retrying and the engine's ROS dedup
+        answering retries idempotently, not on this gateway recovering
+        anything.
+        """
+        flushed = self.hr_buffer.flush()
+        self.restarts += 1
+        if self.events is not None:
+            from repro.obs.events import Severity
+
+            self.events.emit(
+                self.sim.now, Severity.WARNING, self.name, "chaos.gateway_rejoin",
+                f"gateway rejoined; flushed {flushed} held md pieces",
+                flushed_pieces=flushed,
+            )
 
     # ------------------------------------------------------------------
     # Message dispatch

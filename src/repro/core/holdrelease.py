@@ -16,12 +16,12 @@ and the DDP controller for ``d_h``.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.marketdata import MarketDataPiece
 from repro.core.messages import HoldReleaseReport
 from repro.sim.clock import HostClock
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 class HoldReleaseBuffer:
@@ -68,6 +68,9 @@ class HoldReleaseBuffer:
         self.held_count = 0
         self.late_count = 0
         self.total_hold_ns = 0
+        # md seq -> pending release event, so a crashing gateway can
+        # drop its buffered state (repro.chaos rejoin path).
+        self._pending: Dict[int, Event] = {}
 
     def offer(self, piece: MarketDataPiece) -> None:
         """Accept a piece from the engine; hold or release immediately."""
@@ -77,13 +80,24 @@ class HoldReleaseBuffer:
             self._release(piece, hold_ns=0, late=True, lateness_ns=arrival_local - piece.release_at)
             return
         hold_ns = piece.release_at - arrival_local
-        self.clock.schedule_at_local(
+        self._pending[piece.seq] = self.clock.schedule_at_local(
             piece.release_at, self._release, piece, hold_ns, False, 0
         )
+
+    def flush(self) -> int:
+        """Drop every held-but-unreleased piece (a crash loses buffered
+        state; the engine's H/R aggregation simply never hears about
+        them).  Returns how many were discarded."""
+        flushed = len(self._pending)
+        for event in self._pending.values():
+            event.cancel()
+        self._pending.clear()
+        return flushed
 
     def _release(
         self, piece: MarketDataPiece, hold_ns: int, late: bool, lateness_ns: int
     ) -> None:
+        self._pending.pop(piece.seq, None)
         self.held_count += 1
         self.total_hold_ns += hold_ns
         if late:

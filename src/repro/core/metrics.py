@@ -189,6 +189,15 @@ class MetricsCollector:
         if submitted is not None:
             self.e2e_latencies_ns.append(now_true - submitted)
 
+    def unconfirmed_orders(self) -> List[Tuple[str, int]]:
+        """Orders submitted but never confirmed, as (participant, id).
+
+        The entries still in the submission-tracking table are exactly
+        the orders whose first confirmation never arrived -- the chaos
+        invariant checker starts its order-loss accounting here.
+        """
+        return list(self._submitted.keys())
+
     # ------------------------------------------------------------------
     # Sequencer
     # ------------------------------------------------------------------

@@ -31,7 +31,8 @@ from repro.core.metrics import MetricsCollector
 from repro.core.order import ClientOrderIdAllocator, Order
 from repro.core.types import OrderStatus, OrderType, Price, Quantity, Side, Symbol, TimeInForce
 from repro.obs import tracing
-from repro.sim.engine import Actor, Simulator
+from repro.obs.events import Severity
+from repro.sim.engine import Actor, Event, Simulator
 from repro.sim.network import Host, Network
 from repro.sim.timeunits import MICROSECOND
 
@@ -54,6 +55,15 @@ class MarketView:
         if self.best_bid is not None and self.best_ask is not None:
             return (self.best_bid + self.best_ask) // 2
         return self.best_bid if self.best_bid is not None else self.best_ask
+
+
+@dataclass
+class _PendingAck:
+    """An order awaiting its confirmation under the ack-timeout regime."""
+
+    order: Order
+    attempts: int
+    timer: Event
 
 
 class Participant(Actor):
@@ -82,6 +92,7 @@ class Participant(Actor):
         id_allocator: ClientOrderIdAllocator,
         history_client=None,
         tracer=None,
+        events=None,
     ) -> None:
         super().__init__(sim, host.name)
         if not gateways:
@@ -100,6 +111,7 @@ class Participant(Actor):
         self.ids = id_allocator
         self.history = history_client
         self.tracer = tracer
+        self.events = events
         self.strategy = None
         self._cpu_per_replica_ns = int(config.participant_cpu_per_replica_us * MICROSECOND)
 
@@ -110,6 +122,14 @@ class Participant(Actor):
         self.confirmations_received = 0
         self.trades_received = 0
         self.md_received = 0
+        # Ack-timeout reaction path (repro.chaos).  None disables it
+        # entirely: submit/confirm then pay one `is not None` test.
+        self._ack_timeout_ns = config.ack_timeout_ns
+        self._pending_acks: Dict[int, _PendingAck] = {}
+        self._consecutive_timeouts = 0
+        self.retries_sent = 0
+        self.failovers = 0
+        self.orders_abandoned = 0
         host.bind(self)
 
     # ------------------------------------------------------------------
@@ -156,7 +176,77 @@ class Participant(Actor):
         for gateway in self.gateways[: self.config.replication_factor]:
             self.host.cpu.charge("tx", self._cpu_per_replica_ns)
             self.network.send(self.name, gateway, request)
+        if self._ack_timeout_ns is not None:
+            timer = self.sim.schedule(
+                self._ack_timeout_ns, self._on_ack_timeout, order.client_order_id
+            )
+            self._pending_acks[order.client_order_id] = _PendingAck(
+                order=order, attempts=0, timer=timer
+            )
         return order.client_order_id
+
+    # ------------------------------------------------------------------
+    # Ack timeout, retry, and gateway failover (repro.chaos)
+    # ------------------------------------------------------------------
+    def _on_ack_timeout(self, client_order_id: int) -> None:
+        pending = self._pending_acks.get(client_order_id)
+        if pending is None:
+            return
+        self._consecutive_timeouts += 1
+        if (
+            self.config.gateway_failover
+            and len(self.gateways) > 1
+            and self._consecutive_timeouts >= self.config.failover_after_timeouts
+        ):
+            self._fail_over()
+        if pending.attempts >= self.config.ack_max_retries:
+            # Out of retries: give the order up *loudly*.  The chaos
+            # report surfaces abandoned orders as findings.
+            del self._pending_acks[client_order_id]
+            self.orders_abandoned += 1
+            if self.events is not None:
+                self.events.emit(
+                    self.sim.now, Severity.ERROR, self.name, "chaos.order_abandoned",
+                    f"order {client_order_id} unconfirmed after "
+                    f"{pending.attempts} retries",
+                    client_order_id=client_order_id,
+                )
+            return
+        pending.attempts += 1
+        self.retries_sent += 1
+        request = NewOrderRequest(order=pending.order, auth_token=self.auth_token)
+        for gateway in self.gateways[: self.config.replication_factor]:
+            self.host.cpu.charge("tx", self._cpu_per_replica_ns)
+            self.network.send(self.name, gateway, request)
+        backoff_ns = int(
+            self._ack_timeout_ns * self.config.ack_retry_backoff ** pending.attempts
+        )
+        pending.timer = self.sim.schedule(
+            backoff_ns, self._on_ack_timeout, client_order_id
+        )
+
+    def _fail_over(self) -> None:
+        """Demote the primary gateway: rotate the replica list and move
+        subscriptions to the new primary."""
+        old_primary = self.gateways[0]
+        self.gateways = self.gateways[1:] + self.gateways[:1]
+        self._consecutive_timeouts = 0
+        self.failovers += 1
+        if self.events is not None:
+            self.events.emit(
+                self.sim.now, Severity.WARNING, self.name, "chaos.failover",
+                f"failed over from {old_primary} to {self.gateways[0]}",
+                old_primary=old_primary, new_primary=self.gateways[0],
+            )
+        # Market data flowed through the old primary's H/R buffer;
+        # re-subscribe through the new one.
+        symbols = tuple(self.market)
+        if symbols:
+            self.network.send(
+                self.name,
+                self.primary_gateway,
+                SubscriptionRequest(participant_id=self.name, symbols=symbols),
+            )
 
     def submit_limit(
         self,
@@ -229,6 +319,11 @@ class Participant(Actor):
             super().on_message(msg, sender)
 
     def _on_confirmation(self, conf: OrderConfirmation) -> None:
+        if self._ack_timeout_ns is not None:
+            pending = self._pending_acks.pop(conf.client_order_id, None)
+            if pending is not None:
+                pending.timer.cancel()
+                self._consecutive_timeouts = 0
         self.confirmations_received += 1
         self.metrics.record_confirmation(self.name, conf.client_order_id, self.sim.now)
         if self.tracer is not None:

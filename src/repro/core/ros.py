@@ -27,6 +27,18 @@ from repro.sim.timeunits import SECOND
 OrderKey = Tuple[str, int]
 
 
+class _Entry:
+    """One remembered order: its winning replica and, optionally, the
+    confirmation it produced (kept for crash-recovery replay)."""
+
+    __slots__ = ("gateway_id", "arrived_local", "result")
+
+    def __init__(self, gateway_id: str, arrived_local: int) -> None:
+        self.gateway_id = gateway_id
+        self.arrived_local = arrived_local
+        self.result = None
+
+
 class RosDeduplicator:
     """Earliest-replica-wins deduplication table."""
 
@@ -34,9 +46,9 @@ class RosDeduplicator:
         if ttl_ns <= 0:
             raise ValueError(f"ttl must be positive, got {ttl_ns}")
         self.ttl_ns = ttl_ns
-        # key -> (winning gateway id, first-arrival local time); ordered
-        # by insertion so TTL expiry pops from the front.
-        self._seen: "OrderedDict[OrderKey, Tuple[str, int]]" = OrderedDict()
+        # key -> entry, ordered by insertion so TTL expiry pops from
+        # the front.
+        self._seen: "OrderedDict[OrderKey, _Entry]" = OrderedDict()
         self.accepted = 0
         self.duplicates_dropped = 0
 
@@ -46,20 +58,34 @@ class RosDeduplicator:
         if key in self._seen:
             self.duplicates_dropped += 1
             return False
-        self._seen[key] = (gateway_id, now_local)
+        self._seen[key] = _Entry(gateway_id, now_local)
         self.accepted += 1
         return True
 
     def winner(self, key: OrderKey) -> Optional[str]:
         """The gateway whose replica won, if still remembered."""
         entry = self._seen.get(key)
-        return entry[0] if entry is not None else None
+        return entry.gateway_id if entry is not None else None
+
+    def record_result(self, key: OrderKey, confirmation) -> None:
+        """Remember the order's confirmation so a duplicate replica --
+        a participant retry after losing the original confirmation to a
+        gateway crash -- can be answered idempotently instead of
+        silently dropped.  No-op once the entry has been swept."""
+        entry = self._seen.get(key)
+        if entry is not None:
+            entry.result = confirmation
+
+    def result(self, key: OrderKey):
+        """The remembered confirmation, if any (None after TTL sweep)."""
+        entry = self._seen.get(key)
+        return entry.result if entry is not None else None
 
     def _expire(self, now_local: int) -> None:
         horizon = now_local - self.ttl_ns
         while self._seen:
-            _, (_, arrived) = next(iter(self._seen.items()))
-            if arrived >= horizon:
+            entry = next(iter(self._seen.values()))
+            if entry.arrived_local >= horizon:
                 break
             self._seen.popitem(last=False)
 

@@ -226,6 +226,11 @@ class Sequencer:
         """Items currently held."""
         return len(self._heap)
 
+    def pending_items(self) -> List[Any]:
+        """The held items themselves (unordered) -- lets the chaos
+        invariant checker distinguish in-flight orders from lost ones."""
+        return [entry[2] for entry in self._heap]
+
     def inbound_unfairness_ratio(self) -> float:
         """Fraction of released orders processed out of (measured) sequence."""
         if self.released_count == 0:

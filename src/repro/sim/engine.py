@@ -61,6 +61,12 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
 
 
+#: Priority for fault transitions (repro.chaos): more negative than any
+#: ordinary event, so a crash/partition taking effect at time T applies
+#: before messages delivered at the same instant T.
+FAULT_PRIORITY = -10
+
+
 class Simulator:
     """Deterministic discrete-event simulator with integer-ns time.
 
@@ -124,6 +130,14 @@ class Simulator:
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def schedule_fault(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule a fault transition (crash, partition, clock step).
+
+        Fault transitions run at :data:`FAULT_PRIORITY` so a fault
+        taking effect at time T is visible to every ordinary event at T.
+        """
+        return self.schedule_at(time_ns, fn, *args, priority=FAULT_PRIORITY)
 
     # ------------------------------------------------------------------
     # Execution

@@ -20,7 +20,7 @@ raised: crash behaviour is data, not an error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.clock import HostClock
 from repro.sim.cpu import CpuAccountant
@@ -58,6 +58,7 @@ class Host:
         self.actor: Optional[Actor] = None
         self.up: bool = True
         self.dropped_while_down: int = 0
+        self.dropped_sends_while_down: int = 0
         #: Optional shared :class:`repro.obs.counters.Counter` so
         #: fault-injection runs report loss instead of hiding it.
         self.drop_counter = drop_counter
@@ -69,11 +70,21 @@ class Host:
         self.actor = actor
 
     def crash(self) -> None:
-        """Take the host down; in-flight and future messages are dropped."""
+        """Take the host down.
+
+        While down the host neither receives nor sends: a message
+        *addressed to* it -- including one already in flight at crash
+        time -- is dropped at its scheduled delivery instant if the
+        host is still down then (the ``up`` check in :meth:`deliver`;
+        a host that restarts before the arrival still receives it),
+        and messages its actor tries to send are dropped at the source
+        (the ``src.up`` check in :meth:`Link.send`).  Dropped messages
+        stay lost after :meth:`restart`; nothing is requeued.
+        """
         self.up = False
 
     def restart(self) -> None:
-        """Bring the host back up.  Messages sent while down stay lost."""
+        """Bring the host back up.  Messages dropped while down stay lost."""
         self.up = True
 
     def deliver(self, message: Message) -> None:
@@ -94,7 +105,14 @@ class Host:
 
 
 class Link:
-    """A unidirectional, latency-sampling, optionally-FIFO transport."""
+    """A unidirectional, latency-sampling, optionally-FIFO transport.
+
+    Runtime faults (:mod:`repro.chaos`) attach here: a *degradation*
+    scales/shifts sampled delays for a window, a *partition* blocks the
+    link entirely.  Both are stacked (nested windows compose) and both
+    cost exactly one ``is not None`` / truthiness test on the unfaulted
+    hot path.
+    """
 
     def __init__(
         self,
@@ -104,6 +122,7 @@ class Link:
         latency: LatencyModel,
         rngs: RngRegistry,
         fifo: bool = True,
+        partition_counter=None,
     ) -> None:
         self.sim = sim
         self.src = src
@@ -114,16 +133,82 @@ class Link:
         self._last_arrival: int = -1
         self.messages_sent: int = 0
         self.total_delay_ns: int = 0
+        # Active latency faults: list of (multiplier, extra_ns) plus
+        # their product/sum folded into one tuple (None = no fault).
+        self._fault_stack: List[Tuple[float, int]] = []
+        self._fault: Optional[Tuple[float, int]] = None
+        # Partition nesting depth: > 0 means the link is blocked.
+        self._blocked: int = 0
+        self.dropped_partitioned: int = 0
+        self.partition_counter = partition_counter
+
+    # ------------------------------------------------------------------
+    # Runtime faults (repro.chaos)
+    # ------------------------------------------------------------------
+    def push_fault(self, multiplier: float = 1.0, extra_ns: int = 0) -> Tuple[float, int]:
+        """Stack a latency fault; returns a token for :meth:`pop_fault`."""
+        token = (multiplier, extra_ns)
+        self._fault_stack.append(token)
+        self._refold_faults()
+        return token
+
+    def pop_fault(self, token: Tuple[float, int]) -> None:
+        """Remove one previously pushed latency fault."""
+        self._fault_stack.remove(token)
+        self._refold_faults()
+
+    def _refold_faults(self) -> None:
+        if not self._fault_stack:
+            self._fault = None
+            return
+        multiplier = 1.0
+        extra = 0
+        for m, e in self._fault_stack:
+            multiplier *= m
+            extra += e
+        self._fault = (multiplier, extra)
+
+    def block(self) -> None:
+        """Partition this link (nests: block twice, unblock twice)."""
+        self._blocked += 1
+
+    def unblock(self) -> None:
+        """Remove one level of partition."""
+        if self._blocked <= 0:
+            raise ValueError(f"link {self.src.name}->{self.dst.name} is not blocked")
+        self._blocked -= 1
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocked > 0
 
     def send(self, payload: Any) -> Message:
-        """Sample a delay and schedule delivery at the destination."""
+        """Sample a delay and schedule delivery at the destination.
+
+        A send from a downed source host, or over a partitioned link,
+        is dropped at the source: the Message is returned (callers need
+        the handle) but never scheduled for delivery.
+        """
         now = self.sim.now
+        message = Message(payload=payload, src=self.src.name, dst=self.dst.name, sent_at=now)
+        if not self.src.up:
+            self.src.dropped_sends_while_down += 1
+            if self.src.drop_counter is not None:
+                self.src.drop_counter.inc()
+            return message
+        if self._blocked:
+            self.dropped_partitioned += 1
+            if self.partition_counter is not None:
+                self.partition_counter.inc()
+            return message
         delay = self.latency.sample(self.rng, now)
+        if self._fault is not None:
+            multiplier, extra_ns = self._fault
+            delay = int(delay * multiplier) + extra_ns
         arrival = now + delay
         if self.fifo and arrival <= self._last_arrival:
             arrival = self._last_arrival + 1
         self._last_arrival = arrival
-        message = Message(payload=payload, src=self.src.name, dst=self.dst.name, sent_at=now)
         self.messages_sent += 1
         self.total_delay_ns += arrival - now
         self.sim.schedule_at(arrival, self.dst.deliver, message)
@@ -152,6 +237,9 @@ class Network:
         self._drop_counter = (
             counters.counter("net.dropped_while_down") if counters is not None else None
         )
+        self._partition_counter = (
+            counters.counter("net.dropped_partitioned") if counters is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -179,7 +267,10 @@ class Network:
         key = (src, dst)
         if key in self.links:
             raise ValueError(f"link {src}->{dst} already exists")
-        link = Link(self.sim, self.hosts[src], self.hosts[dst], latency, self.rngs, fifo=fifo)
+        link = Link(
+            self.sim, self.hosts[src], self.hosts[dst], latency, self.rngs,
+            fifo=fifo, partition_counter=self._partition_counter,
+        )
         self.links[key] = link
         return link
 
@@ -212,6 +303,45 @@ class Network:
             return self.hosts[name]
         except KeyError:
             raise KeyError(f"unknown host {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Runtime faults (repro.chaos)
+    # ------------------------------------------------------------------
+    def links_touching(self, host: str) -> List[Link]:
+        """Every link with ``host`` as source or destination."""
+        if host not in self.hosts:
+            raise KeyError(f"unknown host {host!r}")
+        return [
+            link for (src, dst), link in self.links.items() if host in (src, dst)
+        ]
+
+    def degrade_link(
+        self, src: str, dst: str, multiplier: float = 1.0, extra_ns: int = 0
+    ) -> Tuple[float, int]:
+        """Stack a latency fault on src -> dst; returns the pop token."""
+        return self.link(src, dst).push_fault(multiplier, extra_ns)
+
+    def restore_link(self, src: str, dst: str, token: Tuple[float, int]) -> None:
+        """Remove a previously stacked latency fault from src -> dst."""
+        self.link(src, dst).pop_fault(token)
+
+    def partition(self, group_a, group_b) -> List[Link]:
+        """Block every existing link between the two host groups (both
+        directions).  Returns the blocked links for :meth:`heal`."""
+        blocked: List[Link] = []
+        for a in group_a:
+            for b in group_b:
+                for key in ((a, b), (b, a)):
+                    link = self.links.get(key)
+                    if link is not None:
+                        link.block()
+                        blocked.append(link)
+        return blocked
+
+    def heal(self, blocked: List[Link]) -> None:
+        """Undo one :meth:`partition` call."""
+        for link in blocked:
+            link.unblock()
 
     def __repr__(self) -> str:
         return f"Network(hosts={len(self.hosts)}, links={len(self.links)})"

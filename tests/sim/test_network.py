@@ -104,6 +104,127 @@ class TestCrash:
         sim.run()
         assert recorder.received == []
 
+    def test_sent_while_down_stays_lost_after_restart(self, net):
+        """The pinned crash semantics: a message dropped while the host
+        was down is never requeued -- restart() resumes delivery only
+        for messages sent afterwards."""
+        sim, network = net
+        recorder = wire(sim, network)
+        network.host("b").crash()
+        network.send("a", "b", "lost")
+        sim.run()  # past the delivery instant: dropped by the up check
+        network.host("b").restart()
+        sim.run()
+        assert recorder.received == []
+        assert network.host("b").dropped_while_down == 1
+
+    def test_restart_before_arrival_still_delivers(self, net):
+        """Drops happen at the delivery instant, not at send time: a
+        host that bounces within the flight time receives the message."""
+        sim, network = net
+        recorder = wire(sim, network)  # constant 1000 ns latency
+        network.send("a", "b", "in-flight")
+        sim.schedule(100, network.host("b").crash)
+        sim.schedule(500, network.host("b").restart)
+        sim.run()
+        assert [m for m, _, _ in recorder.received] == ["in-flight"]
+        assert network.host("b").dropped_while_down == 0
+
+    def test_down_host_sends_dropped_at_source(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        network.host("a").crash()
+        message = network.send("a", "b", "never-leaves")
+        sim.run()
+        network.host("a").restart()
+        sim.run()
+        assert recorder.received == []
+        assert message.delivered_at == -1
+        assert network.host("a").dropped_sends_while_down == 1
+        # The drop happened at the source, not at the destination.
+        assert network.host("b").dropped_while_down == 0
+
+
+class TestLinkFaults:
+    def test_degradation_scales_and_shifts_delay(self, net):
+        sim, network = net
+        recorder = wire(sim, network)  # constant 1000 ns
+        link = network.link("a", "b")
+        token = link.push_fault(multiplier=3.0, extra_ns=500)
+        network.send("a", "b", "slow")
+        link.pop_fault(token)
+        network.send("a", "b", "fast")
+        sim.run()
+        assert [(m, t) for m, _, t in recorder.received] == [
+            ("slow", 3_500),
+            ("fast", 3_501),  # FIFO: may not overtake the slow one
+        ]
+
+    def test_faults_stack_and_unwind(self, net):
+        sim, network = net
+        wire(sim, network)
+        link = network.link("a", "b")
+        t1 = link.push_fault(multiplier=2.0)
+        t2 = link.push_fault(extra_ns=100)
+        assert link._fault == (2.0, 100)
+        link.pop_fault(t1)
+        assert link._fault == (1.0, 100)
+        link.pop_fault(t2)
+        assert link._fault is None
+
+    def test_blocked_link_drops_at_source(self, net):
+        sim, network = net
+        recorder = wire(sim, network)
+        link = network.link("a", "b")
+        link.block()
+        network.send("a", "b", "partitioned")
+        link.unblock()
+        network.send("a", "b", "healed")
+        sim.run()
+        assert [m for m, _, _ in recorder.received] == ["healed"]
+        assert link.dropped_partitioned == 1
+
+    def test_unblock_without_block_raises(self, net):
+        sim, network = net
+        wire(sim, network)
+        with pytest.raises(ValueError):
+            network.link("a", "b").unblock()
+
+    def test_partition_blocks_both_directions_and_heals(self, net):
+        sim, network = net
+        recorder_b = wire(sim, network)
+        network.connect("b", "a", ConstantLatency(1_000))
+        recorder_a = Recorder(sim, "a")
+        network.host("a").bind(recorder_a)
+        blocked = network.partition(["a"], ["b"])
+        assert len(blocked) == 2
+        network.send("a", "b", "x")
+        network.send("b", "a", "y")
+        sim.run()
+        network.heal(blocked)
+        network.send("a", "b", "x2")
+        network.send("b", "a", "y2")
+        sim.run()
+        assert [m for m, _, _ in recorder_b.received] == ["x2"]
+        assert [m for m, _, _ in recorder_a.received] == ["y2"]
+
+    def test_partition_ignores_missing_links(self, net):
+        _, network = net
+        network.add_host("a")
+        network.add_host("b")
+        assert network.partition(["a"], ["b"]) == []
+
+    def test_links_touching(self, net):
+        sim, network = net
+        wire(sim, network)
+        network.connect("b", "a", ConstantLatency(1))
+        network.add_host("c")
+        network.connect("a", "c", ConstantLatency(1))
+        assert len(network.links_touching("a")) == 3
+        assert len(network.links_touching("b")) == 2
+        with pytest.raises(KeyError):
+            network.links_touching("nope")
+
 
 class TestTopology:
     def test_duplicate_host_rejected(self, net):

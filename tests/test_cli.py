@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.__main__ import build_parser, build_trace_parser, main
+import json
+
+from repro.__main__ import build_chaos_parser, build_parser, build_trace_parser, main
 
 
 class TestParser:
@@ -23,6 +25,20 @@ class TestParser:
     def test_bad_choice_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--clock-sync", "chrony"])
+
+    def test_help_lists_subcommands(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        assert "trace" in out
+        assert "chaos" in out
+
+    def test_chaos_parser_defaults(self):
+        args = build_chaos_parser().parse_args([])
+        assert args.scenario == "smoke"
+        assert args.seed == 11
+        assert not args.json
+        assert not args.strict
 
 
 class TestMain:
@@ -66,6 +82,32 @@ class TestMain:
         assert args.rf == 2
         assert args.sample_rate == 1.0
         assert args.out == "trace.jsonl"
+
+    def test_chaos_subcommand_text_report(self, capsys):
+        code = main(["chaos", "--scenario", "smoke", "--seed", "11"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "verdict" in out.lower() or "OK" in out
+
+    def test_chaos_subcommand_json(self, capsys):
+        code = main(["chaos", "--scenario", "smoke", "--seed", "11", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "smoke"
+        assert payload["ok"] is True
+
+    def test_chaos_strict_exit_code_on_violations(self, capsys):
+        code = main(["chaos", "--scenario", "gateway-crash-rf1", "--strict"])
+        assert code == 1
+        assert "order_loss" in capsys.readouterr().out
+
+    def test_chaos_list(self, capsys):
+        code = main(["chaos", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out
+        assert "gateway-crash-rf2-failover" in out
 
     def test_batch_mode_runs(self, capsys):
         code = main(
