@@ -13,6 +13,11 @@ raw traces to a JSONL file; see ``python -m repro trace --help``.
 scenario (gateway crashes, latency storms, partitions, clock steps)
 and prints the chaos report with its invariant findings; see
 ``python -m repro chaos --help``.
+
+``python -m repro bench`` runs the micro/macro performance suites and
+writes (or, with ``--check``, compares against) the persistent
+``BENCH_micro.json`` / ``BENCH_macro.json`` baselines; see
+``python -m repro bench --help``.
 """
 
 from __future__ import annotations
@@ -35,6 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
             "          latency/clock/ROS breakdown tables\n"
             "  chaos   run a deterministic fault-injection scenario and\n"
             "          print the invariant-checked chaos report\n"
+            "  bench   run the micro/macro performance suites and write or\n"
+            "          check the BENCH_*.json baselines\n"
             "\n"
             "see `python -m repro <subcommand> --help` for their options"
         ),
@@ -197,6 +204,10 @@ def main(argv=None) -> int:
         return trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.perf.bench import bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = CloudExConfig(
         seed=args.seed,

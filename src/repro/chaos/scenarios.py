@@ -287,6 +287,7 @@ def run_scenario(name: str, seed: int = 11) -> ChaosRunResult:
     )
     pump.start()
     cluster.run(spec.duration_s)
+    md_finalized_at_end = cluster.finalize_metrics()
     findings = check_invariants(cluster, monitor, spec.bounds)
     participants = cluster.participants
     stats = {
@@ -301,6 +302,9 @@ def run_scenario(name: str, seed: int = 11) -> ChaosRunResult:
         "out_of_sequence": cluster.metrics.out_of_sequence,
         "unconfirmed_orders": len(cluster.metrics.unconfirmed_orders()),
         "events_processed": cluster.sim.events_processed,
+        "md_pieces_partial": cluster.metrics.md_pieces_partial,
+        "md_pieces_unreported": cluster.metrics.md_pieces_unreported,
+        "md_pieces_finalized_at_end": md_finalized_at_end,
     }
     report = ChaosReport(
         scenario=spec.name,

@@ -27,45 +27,81 @@ from repro.core.types import Price, Quantity, Side, Symbol
 
 
 class PriceLevel:
-    """All resting orders at one price, in gateway-timestamp priority."""
+    """All resting orders at one price, in gateway-timestamp priority.
 
-    __slots__ = ("price", "orders", "total_quantity", "_keys")
+    The FIFO front is a cursor (``_head``) rather than ``pop(0)``: the
+    matching loop consumes the front of busy levels constantly, and
+    shifting the whole list per pop is O(n).  The consumed prefix is
+    compacted away once it dominates the list, so memory stays bounded
+    while every operation touches only the live region
+    ``orders[_head:]`` (all bisects pass ``lo=_head``).
+    """
+
+    __slots__ = ("price", "_orders", "total_quantity", "_keys", "_head")
+
+    #: Compact the consumed prefix once it is this long and at least
+    #: half the backing list.
+    _COMPACT_AT = 64
 
     def __init__(self, price: Price) -> None:
         self.price = price
-        self.orders: List[Order] = []
+        self._orders: List[Order] = []
         self._keys: List[tuple] = []
+        self._head: int = 0
         self.total_quantity: Quantity = 0
+
+    @property
+    def orders(self) -> List[Order]:
+        """The live resting orders, front first (a copy -- the consumed
+        prefix before the cursor is internal)."""
+        return self._orders[self._head:]
 
     def add(self, order: Order) -> None:
         """Insert in timestamp-priority position (append fast path)."""
         key = order.priority_key()
-        if not self._keys or key >= self._keys[-1]:
-            self.orders.append(order)
+        if self._head >= len(self._keys) or key >= self._keys[-1]:
+            self._orders.append(order)
             self._keys.append(key)
         else:
-            index = bisect.bisect_right(self._keys, key)
-            self.orders.insert(index, order)
+            index = bisect.bisect_right(self._keys, key, lo=self._head)
+            self._orders.insert(index, order)
             self._keys.insert(index, key)
         self.total_quantity += order.remaining
 
     def remove(self, order: Order) -> None:
-        """Remove a specific resting order (cancellation path)."""
-        index = self.orders.index(order)
-        del self.orders[index]
-        del self._keys[index]
-        self.total_quantity -= order.remaining
+        """Remove a specific resting order (cancellation path).
+
+        Located by bisecting the sorted key list, then an identity scan
+        across the (usually single) entry sharing the key.
+        """
+        key = order.priority_key()
+        index = bisect.bisect_left(self._keys, key, lo=self._head)
+        end = len(self._orders)
+        while index < end and self._keys[index] == key:
+            if self._orders[index] is order:
+                del self._orders[index]
+                del self._keys[index]
+                self.total_quantity -= order.remaining
+                return
+            index += 1
+        raise ValueError(f"{order!r} is not resting in level {self.price}")
 
     def pop_front(self) -> Order:
         """Remove and return the highest-priority resting order."""
-        order = self.orders.pop(0)
-        self._keys.pop(0)
+        head = self._head
+        order = self._orders[head]
+        head += 1
+        if head >= self._COMPACT_AT and head * 2 >= len(self._orders):
+            del self._orders[:head]
+            del self._keys[:head]
+            head = 0
+        self._head = head
         self.total_quantity -= order.remaining
         return order
 
     def front(self) -> Order:
         """The highest-priority resting order (not removed)."""
-        return self.orders[0]
+        return self._orders[self._head]
 
     def reduce(self, quantity: Quantity) -> None:
         """Account a partial fill of the front order."""
@@ -73,13 +109,13 @@ class PriceLevel:
 
     @property
     def empty(self) -> bool:
-        return not self.orders
+        return self._head >= len(self._orders)
 
     def __len__(self) -> int:
-        return len(self.orders)
+        return len(self._orders) - self._head
 
     def __repr__(self) -> str:
-        return f"PriceLevel(price={self.price}, orders={len(self.orders)}, qty={self.total_quantity})"
+        return f"PriceLevel(price={self.price}, orders={len(self)}, qty={self.total_quantity})"
 
 
 class BookSide:
@@ -90,6 +126,11 @@ class BookSide:
         self._levels: Dict[Price, PriceLevel] = {}
         # Min-heap; bids are stored negated so the best price pops first.
         self._heap: List[Price] = []
+        # Best-first cache of level objects for depth(): only level
+        # *creation* invalidates it.  Levels that empty or get deleted
+        # stay in the cache harmlessly -- reads filter on ``empty`` and
+        # quantities are read live -- and are purged at next rebuild.
+        self._depth_cache: Optional[List[PriceLevel]] = None
 
     def _heap_key(self, price: Price) -> int:
         return -price if self.side is Side.BUY else price
@@ -107,6 +148,7 @@ class BookSide:
             level = PriceLevel(price)
             self._levels[price] = level
             heapq.heappush(self._heap, self._heap_key(price))
+            self._depth_cache = None
         level.add(order)
 
     def best_level(self) -> Optional[PriceLevel]:
@@ -142,12 +184,29 @@ class BookSide:
         level.remove(order)
 
     def depth(self, max_levels: int) -> Tuple[Tuple[Price, Quantity], ...]:
-        """Best-first (price, total volume) pairs, up to ``max_levels``."""
-        populated = sorted(
-            (level for level in self._levels.values() if not level.empty),
-            key=lambda lv: self._heap_key(lv.price),
-        )
-        return tuple((lv.price, lv.total_quantity) for lv in populated[:max_levels])
+        """Best-first (price, total volume) pairs, up to ``max_levels``.
+
+        Walks the cached best-first level list instead of re-sorting
+        per snapshot; empty levels are skipped and quantities are read
+        live, so the result is identical to a fresh sort.
+        """
+        if max_levels <= 0:
+            return ()
+        cache = self._depth_cache
+        if cache is None:
+            cache = sorted(
+                self._levels.values(),
+                key=lambda lv: lv.price,
+                reverse=self.side is Side.BUY,
+            )
+            self._depth_cache = cache
+        result = []
+        for level in cache:
+            if not level.empty:
+                result.append((level.price, level.total_quantity))
+                if len(result) >= max_levels:
+                    break
+        return tuple(result)
 
     def total_volume(self) -> Quantity:
         """Sum of resting volume on this side."""

@@ -266,6 +266,11 @@ class CloudExCluster:
             )
             for host in self.gateway_hosts
         ]
+        # A crashing gateway flushes held market data; without this
+        # wiring those pieces never reach their expected report count,
+        # never finalize, and starve the outbound DDP controller.
+        for gateway in self.gateways:
+            gateway.hr_buffer.flush_listener = self._on_hr_flush
 
         self.portfolio.open_account(OPERATOR)
         self.participants: List[Participant] = []
@@ -437,6 +442,25 @@ class CloudExCluster:
         self.sim.run(until=until)
         self._ran_ns = until
         self.metrics.measure_end_true = self.sim.now
+
+    def _on_hr_flush(self, seqs: List[int]) -> None:
+        """Finalize md pieces orphaned by a gateway's H/R flush; feed
+        the partial-but-valid unfairness samples to outbound DDP."""
+        finalized = self.metrics.record_md_flush(seqs)
+        ddp = self.exchange.ddp_outbound
+        if ddp is not None:
+            for any_late in finalized:
+                ddp.on_sample(any_late)
+
+    def finalize_metrics(self) -> int:
+        """Close out in-flight market-data aggregation at end of run.
+
+        Pieces still awaiting reports (a gateway died and never
+        rejoined, or the run simply ended mid-flight) are finalized
+        with whatever reports arrived; see
+        :meth:`MetricsCollector.finalize_partial_md`.
+        """
+        return self.metrics.finalize_partial_md()
 
     def reset_metrics(self) -> None:
         """Discard everything measured so far and start a fresh window.

@@ -12,7 +12,6 @@ release time and reports lateness back to the engine.
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Dict
 
 from repro.core.auth import AuthRegistry
@@ -145,8 +144,7 @@ class Gateway(Actor):
             return
         self.orders_handled += 1
         self._seq += 1
-        stamped = dataclasses.replace(
-            order,
+        stamped = order.stamped_clone(
             gateway_id=self.name,
             gateway_timestamp=self.clock.now(),
             gateway_seq=self._seq,

@@ -71,13 +71,27 @@ class HoldReleaseBuffer:
         # md seq -> pending release event, so a crashing gateway can
         # drop its buffered state (repro.chaos rejoin path).
         self._pending: Dict[int, Event] = {}
+        #: Optional callback receiving the list of md seqs discarded by
+        #: :meth:`flush`.  The cluster wires it to the metrics
+        #: collector so pieces orphaned by a gateway crash are
+        #: finalized with partial reports instead of leaking forever.
+        self.flush_listener: Optional[Callable[[list], None]] = None
 
     def offer(self, piece: MarketDataPiece) -> None:
-        """Accept a piece from the engine; hold or release immediately."""
+        """Accept a piece from the engine; hold or release immediately.
+
+        Arrival strictly *after* ``release_at`` is an unfair
+        dissemination; arrival exactly at the release instant is on
+        time (zero hold, zero lateness) -- the gateway releases at
+        ``t_R`` either way, simultaneously with every other gateway.
+        """
         arrival_local = self.clock.now()
-        if arrival_local >= piece.release_at:
+        if arrival_local > piece.release_at:
             # Arrived past its release time: unfair dissemination.
             self._release(piece, hold_ns=0, late=True, lateness_ns=arrival_local - piece.release_at)
+            return
+        if arrival_local == piece.release_at:
+            self._release(piece, hold_ns=0, late=False, lateness_ns=0)
             return
         hold_ns = piece.release_at - arrival_local
         self._pending[piece.seq] = self.clock.schedule_at_local(
@@ -86,12 +100,17 @@ class HoldReleaseBuffer:
 
     def flush(self) -> int:
         """Drop every held-but-unreleased piece (a crash loses buffered
-        state; the engine's H/R aggregation simply never hears about
-        them).  Returns how many were discarded."""
+        state; the engine's H/R aggregation never hears a *report* for
+        them, but the simulation-level ``flush_listener`` does, so the
+        metrics collector can finalize the pieces with partial
+        reports).  Returns how many were discarded."""
         flushed = len(self._pending)
         for event in self._pending.values():
             event.cancel()
+        seqs = list(self._pending)
         self._pending.clear()
+        if self.flush_listener is not None and seqs:
+            self.flush_listener(seqs)
         return flushed
 
     def _release(

@@ -105,6 +105,12 @@ class MetricsCollector:
         self._md: Dict[int, _MdPieceState] = {}
         self.md_pieces_finalized: int = 0
         self.md_pieces_unfair: int = 0
+        # Pieces finalized with fewer reports than the fan-out (a
+        # gateway flushed its H/R buffer, or the run ended first), and
+        # pieces finalized with no reports at all (no fairness
+        # information; excluded from the unfairness ratio).
+        self.md_pieces_partial: int = 0
+        self.md_pieces_unreported: int = 0
         self.releasing_delays_ns: List[int] = []
         self.md_lateness_ns: List[int] = []
         # Engine throughput accounting.
@@ -147,6 +153,8 @@ class MetricsCollector:
         self.queuing_delays_ns.clear()
         self.md_pieces_finalized = 0
         self.md_pieces_unfair = 0
+        self.md_pieces_partial = 0
+        self.md_pieces_unreported = 0
         self.releasing_delays_ns.clear()
         self.md_lateness_ns.clear()
         self.orders_matched = 0
@@ -242,6 +250,54 @@ class MetricsCollector:
             return state.any_late
         return None
 
+    def _finalize_partial(self, seq: int, state: _MdPieceState) -> Optional[bool]:
+        """Close out a piece that will never see its full fan-out.
+
+        Returns the unfair flag when the piece carried >= 1 report (a
+        valid, if partial, fairness sample), None when it carried none
+        (no information -- counted separately, never fed to DDP).
+        """
+        del self._md[seq]
+        if state.reports == 0:
+            self.md_pieces_unreported += 1
+            return None
+        self.md_pieces_partial += 1
+        if state.any_late:
+            self.md_pieces_unfair += 1
+        return state.any_late
+
+    def record_md_flush(self, seqs: List[int]) -> List[bool]:
+        """One gateway flushed its H/R buffer (crash/rejoin): each held
+        piece loses one expected report.  Pieces whose remaining
+        reports are already all in are finalized as *partial*; the
+        returned unfair flags feed the outbound DDP controller, which
+        would otherwise starve for the rest of the run.
+        """
+        finalized: List[bool] = []
+        for seq in seqs:
+            state = self._md.get(seq)
+            if state is None:
+                continue
+            state.expected_reports -= 1
+            if state.reports >= state.expected_reports:
+                flag = self._finalize_partial(seq, state)
+                if flag is not None:
+                    finalized.append(flag)
+        return finalized
+
+    def finalize_partial_md(self) -> int:
+        """Finalize every still-open piece with the reports it has
+        (run teardown).  Bounds ``_md`` memory when gateways died
+        without ever flushing.  Returns how many pieces were closed."""
+        pending = list(self._md.items())
+        for seq, state in pending:
+            self._finalize_partial(seq, state)
+        return len(pending)
+
+    def open_md_pieces(self) -> int:
+        """Pieces still awaiting gateway reports."""
+        return len(self._md)
+
     # ------------------------------------------------------------------
     # Derived statistics
     # ------------------------------------------------------------------
@@ -258,10 +314,16 @@ class MetricsCollector:
         return self.out_of_sequence_true / self.orders_released
 
     def outbound_unfairness_ratio(self) -> float:
-        """Fraction of market-data pieces late at >= 1 gateway."""
-        if self.md_pieces_finalized == 0:
+        """Fraction of market-data pieces late at >= 1 gateway.
+
+        Partially-reported pieces (gateway crash) still count: at
+        least one gateway observed the release.  Unreported pieces
+        carry no fairness information and are excluded.
+        """
+        denominator = self.md_pieces_finalized + self.md_pieces_partial
+        if denominator == 0:
             return 0.0
-        return self.md_pieces_unfair / self.md_pieces_finalized
+        return self.md_pieces_unfair / denominator
 
     def mean_queuing_delay_us(self) -> float:
         """Average sequencer queuing delay (Fig. 4a/5a y-axis)."""
@@ -316,6 +378,8 @@ class MetricsCollector:
             "submission_p99_us": submission.p99_us,
             "submission_p999_us": submission.p999_us,
             "e2e_p50_us": e2e.p50_us,
+            "md_pieces_partial": float(self.md_pieces_partial),
+            "md_pieces_unreported": float(self.md_pieces_unreported),
             "inbound_unfairness": self.inbound_unfairness_ratio(),
             "inbound_unfairness_true": self.inbound_unfairness_ratio_true(),
             "outbound_unfairness": self.outbound_unfairness_ratio(),

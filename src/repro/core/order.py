@@ -35,9 +35,14 @@ class OrderValidationError(ValueError):
         self.detail = detail
 
 
-@dataclass
+@dataclass(eq=False)
 class Order:
     """A participant's order, progressively annotated along Fig. 2.
+
+    ``eq=False``: an order is an entity with identity, not a value --
+    two distinct orders can carry identical fields (ROS replicas), and
+    book operations (cancel lookup, level removal) want identity
+    semantics rather than a 12-field comparison per candidate.
 
     Participant-set fields
     ----------------------
@@ -101,6 +106,23 @@ class Order:
     @property
     def is_filled(self) -> bool:
         return self.remaining == 0
+
+    def stamped_clone(
+        self, gateway_id: str, gateway_timestamp: int, gateway_seq: int, stamped_true: int
+    ) -> "Order":
+        """A copy annotated with the gateway stamp (Fig. 2 step 2).
+
+        Replaces ``dataclasses.replace`` on the order hot path: a dict
+        copy plus four assignments instead of re-running field
+        collection and ``__init__``.
+        """
+        clone = Order.__new__(Order)
+        clone.__dict__.update(self.__dict__)
+        clone.gateway_id = gateway_id
+        clone.gateway_timestamp = gateway_timestamp
+        clone.gateway_seq = gateway_seq
+        clone.stamped_true = stamped_true
+        return clone
 
     def priority_key(self) -> tuple:
         """Sequencing/tie-break key: earlier timestamp wins, then seq."""

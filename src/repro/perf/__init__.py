@@ -1,0 +1,27 @@
+"""Performance benchmarking with a persistent baseline (``python -m repro bench``).
+
+The micro suite times the hot-path data structures (book, matching
+core, sequencer, event engine, clock) over fixed deterministic
+workloads; the macro suite runs the Table-1 sharding workload (the §4
+testbed at saturation load) end to end.  Both write JSON baselines --
+``BENCH_micro.json`` / ``BENCH_macro.json`` -- that commit alongside
+the code, so CI can detect wall-clock regressions (``--check``) and
+determinism drift (the deterministic work fields must reproduce
+exactly from the same seed).
+"""
+
+from repro.perf.bench import (
+    bench_main,
+    build_bench_parser,
+    check_against_baseline,
+    run_macro_suite,
+    run_micro_suite,
+)
+
+__all__ = [
+    "bench_main",
+    "build_bench_parser",
+    "check_against_baseline",
+    "run_macro_suite",
+    "run_micro_suite",
+]

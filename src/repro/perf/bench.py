@@ -1,0 +1,472 @@
+"""``python -m repro bench``: micro/macro suites and baseline checking.
+
+Schema (both files)
+-------------------
+::
+
+    {
+      "suite": "micro" | "macro",
+      "quick": bool,               # quick (CI smoke) or full workloads
+      "calibration_s": float,      # wall time of the fixed calibration loop
+      "benches": {
+        "<name>": {
+          "wall_s": float,         # best-of-repeats wall time
+          "normalized": float,     # wall_s / calibration_s  (machine-free)
+          "work": {...}            # deterministic outputs: event counts,
+        }                          #   orders matched, simulated throughput
+      }
+    }
+
+Two kinds of fields, two kinds of guarantees:
+
+* ``work`` is **deterministic**: produced by fixed seeds inside the
+  simulation, it must be bit-identical on every machine and every run.
+  A drift here is a determinism regression, not noise.
+* ``wall_s`` is machine-dependent, so comparisons use ``normalized`` =
+  wall time divided by the wall time of a fixed pure-Python
+  *calibration loop* run in the same process.  Machine speed (and most
+  of its variance) cancels out, which is what makes a committed
+  baseline meaningful on a different CI runner.
+
+``--check`` re-runs the suites and fails when any bench's normalized
+time regresses by more than ``--tolerance`` (default 25%) against the
+committed baseline; being *faster* never fails.  Deterministic
+mismatches always fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+MICRO_BASELINE = "BENCH_micro.json"
+MACRO_BASELINE = "BENCH_macro.json"
+DEFAULT_TOLERANCE = 0.25
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Wall time of a fixed pure-Python workload (best of ``repeats``).
+
+    The loop mirrors what the simulator actually spends its time on --
+    heap churn, attribute access, integer arithmetic -- so the
+    normalized bench values are roughly 'multiples of basic interpreter
+    work' and transfer across machines and Python builds.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        heap: List[Tuple[int, int]] = []
+        push, pop = heapq.heappush, heapq.heappop
+        acc = 0
+        for i in range(120_000):
+            push(heap, ((i * 2_654_435_761) & 0xFFFFF, i))
+            if i & 1:
+                acc += pop(heap)[0]
+        while heap:
+            acc += pop(heap)[0]
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        assert acc != 0
+    return best
+
+
+def _time_bench(fn: Callable[[], dict], repeats: int) -> Tuple[float, dict]:
+    """Best-of-``repeats`` wall time; asserts the deterministic work is
+    identical across repeats (catching accidental cross-run state)."""
+    best = float("inf")
+    work: Optional[dict] = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if work is None:
+            work = result
+        elif work != result:
+            raise AssertionError(f"non-deterministic bench work: {work} != {result}")
+        if elapsed < best:
+            best = elapsed
+    assert work is not None
+    return best, work
+
+
+# ----------------------------------------------------------------------
+# Micro suite
+# ----------------------------------------------------------------------
+
+
+def _make_orders(n: int, crossing: bool, seed: int = 7):
+    import numpy as np
+
+    from repro.core.order import Order
+    from repro.core.types import OrderType, Side
+
+    rng = np.random.default_rng(seed)
+    orders = []
+    for i in range(n):
+        side = Side.BUY if rng.random() < 0.5 else Side.SELL
+        if crossing:
+            price = 10_000 + int(rng.integers(-5, 6))
+        elif side is Side.BUY:
+            price = 9_990 - int(rng.integers(0, 25))
+        else:
+            price = 10_010 + int(rng.integers(0, 25))
+        orders.append(
+            Order(
+                client_order_id=i + 1,
+                participant_id=f"p{i % 8}",
+                symbol="S",
+                side=side,
+                order_type=OrderType.LIMIT,
+                quantity=int(rng.integers(1, 100)),
+                limit_price=price,
+                gateway_id="g",
+                gateway_timestamp=i,
+                gateway_seq=i,
+            )
+        )
+    return orders
+
+
+def _bench_book_add_cancel(n: int) -> dict:
+    from repro.core.book import LimitOrderBook
+
+    orders = _make_orders(n, crossing=False)
+    book = LimitOrderBook("S")
+    for order in orders:
+        book.add_resting(order)
+    for order in orders:
+        book.cancel(order.participant_id, order.client_order_id)
+        order.remaining = order.quantity
+    return {"orders": n, "resting_after": book.resting_count()}
+
+
+def _bench_matching_crossing(n: int) -> dict:
+    from repro.core.matching import MatchingEngineCore
+    from repro.core.portfolio import PortfolioMatrix
+
+    orders = _make_orders(n, crossing=True)
+    portfolio = PortfolioMatrix(default_cash=10**12)
+    for i in range(8):
+        portfolio.open_account(f"p{i}")
+    core = MatchingEngineCore(["S"], portfolio)
+    trades = 0
+    for order in orders:
+        order.remaining = order.quantity
+        trades += len(core.process_order(order, now_local=0).trades)
+    return {"orders": n, "trades": trades}
+
+
+def _bench_depth_snapshots(n: int) -> dict:
+    from repro.core.book import LimitOrderBook
+
+    orders = _make_orders(n, crossing=False)
+    book = LimitOrderBook("S")
+    checksum = 0
+    for i, order in enumerate(orders):
+        book.add_resting(order)
+        bids, asks = book.depth_snapshot(max_levels=10)
+        checksum = (checksum * 31 + len(bids) + 7 * len(asks) + i) % 1_000_000_007
+        if i % 3 == 0:
+            book.cancel(order.participant_id, order.client_order_id)
+            order.remaining = order.quantity
+    return {"orders": n, "checksum": checksum}
+
+
+def _bench_engine_dispatch(n: int) -> dict:
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+
+    def tick(remaining: int) -> None:
+        if remaining:
+            sim.schedule(10, tick, remaining - 1)
+
+    # Four interleaved chains: the heap always holds a few entries, as
+    # in a real run, instead of degenerating to a single-element heap.
+    for lane in range(4):
+        sim.schedule(lane, tick, n // 4)
+    sim.run()
+    return {"events": sim.events_processed, "now": sim.now}
+
+
+def _bench_sequencer(n: int) -> dict:
+    from repro.core.sequencer import Sequencer
+    from repro.sim.clock import HostClock
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    clock = HostClock(sim)
+    seq = Sequencer(sim, clock, on_eligible=lambda: None, delay_ns=0)
+    for i in range(n):
+        seq.enqueue(((i * 17) % 997, "g", i), i, i)
+    sim.schedule(1_000, lambda: None)
+    sim.run()
+    drained = 0
+    while seq.pop_eligible() is not None:
+        drained += 1
+    return {"enqueued": n, "drained": drained}
+
+
+def _bench_clock_now(n: int) -> dict:
+    from repro.sim.clock import HostClock
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    clock = HostClock(sim, drift_ppb=42_000, offset_ns=1_500_000)
+    clock.set_linear_correction(1_200, 37_000, clock.raw_local())
+    total = 0
+    for i in range(n):
+        sim.now = i * 1_000
+        total += clock.now()
+    sim.now = 0
+    return {"reads": n, "total": total}
+
+
+def run_micro_suite(quick: bool, repeats: int = 3) -> dict:
+    """Run every micro bench; returns the baseline document (sans file)."""
+    # Sizes keep each bench comfortably above ~30 ms even in quick
+    # mode: much shorter and scheduler noise approaches the --check
+    # tolerance.
+    scale = 3 if quick else 10
+    benches: Dict[str, Tuple[Callable[[], dict], int]] = {
+        "book_add_cancel": (lambda: _bench_book_add_cancel(2_000 * scale), repeats),
+        "matching_crossing": (lambda: _bench_matching_crossing(2_000 * scale), repeats),
+        "depth_snapshots": (lambda: _bench_depth_snapshots(1_000 * scale), repeats),
+        "engine_dispatch": (lambda: _bench_engine_dispatch(20_000 * scale), repeats),
+        "sequencer": (lambda: _bench_sequencer(5_000 * scale), repeats),
+        "clock_now": (lambda: _bench_clock_now(50_000 * scale), repeats),
+    }
+    calibration = calibrate()
+    doc = {"suite": "micro", "quick": quick, "calibration_s": calibration, "benches": {}}
+    for name, (fn, reps) in benches.items():
+        wall, work = _time_bench(fn, reps)
+        doc["benches"][name] = {
+            "wall_s": wall,
+            "normalized": wall / calibration,
+            "work": work,
+        }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Macro suite: the Table-1 sharding workload
+# ----------------------------------------------------------------------
+
+
+def _testbed_config(n_shards: int):
+    """The §4 testbed at saturation load, as in
+    ``benchmarks/bench_table1_sharding.py`` (kept in sync by
+    ``tests/perf/test_bench.py``): 48 participants, 16 gateways, 100
+    symbols, overload rate, no cancels."""
+    from repro.core.config import CloudExConfig
+
+    return CloudExConfig(
+        seed=2021,
+        n_participants=48,
+        n_gateways=16,
+        n_symbols=100,
+        n_shards=n_shards,
+        orders_per_participant_per_s=450.0,
+        subscriptions_per_participant=2,
+        snapshot_interval_ms=100.0,
+        market_order_fraction=0.05,
+        cancel_fraction=0.0,
+    )
+
+
+def _run_macro_once(n_shards: int, duration_s: float) -> Tuple[float, dict]:
+    from repro.core.cluster import CloudExCluster
+
+    config = _testbed_config(n_shards)
+    cluster = CloudExCluster(config)
+    cluster.add_default_workload(rate_per_participant=1_700.0)
+    start = time.perf_counter()
+    cluster.run(duration_s=duration_s)
+    wall = time.perf_counter() - start
+    work = {
+        "shards": n_shards,
+        "sim_duration_s": duration_s,
+        "events_processed": cluster.sim.events_processed,
+        "throughput_per_s": round(cluster.metrics.throughput_per_s(), 3),
+    }
+    return wall, work
+
+
+def run_macro_suite(quick: bool, repeats: int = 1) -> dict:
+    shard_counts = (1, 4) if quick else (1, 4, 8)
+    duration_s = 0.15 if quick else 0.6
+    calibration = calibrate()
+    doc = {"suite": "macro", "quick": quick, "calibration_s": calibration, "benches": {}}
+    for shards in shard_counts:
+        best_wall: float = float("inf")
+        work: Optional[dict] = None
+        for _ in range(max(1, repeats)):
+            wall, this_work = _run_macro_once(shards, duration_s)
+            if work is None:
+                work = this_work
+            elif work != this_work:
+                raise AssertionError(
+                    f"non-deterministic macro run at {shards} shards: {work} != {this_work}"
+                )
+            if wall < best_wall:
+                best_wall = wall
+        assert work is not None
+        doc["benches"][f"table1_shards_{shards}"] = {
+            "wall_s": best_wall,
+            "normalized": best_wall / calibration,
+            "work": work,
+        }
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison
+# ----------------------------------------------------------------------
+
+
+def check_against_baseline(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Compare a fresh run against a committed baseline.
+
+    Returns a list of human-readable failure strings (empty == pass):
+
+    * normalized wall time regressed by more than ``tolerance``
+      (improvements never fail);
+    * deterministic ``work`` fields differ (a determinism regression);
+    * quick/full mode mismatch (the workloads aren't comparable).
+    """
+    failures: List[str] = []
+    if current.get("quick") != baseline.get("quick"):
+        return [
+            f"mode mismatch: baseline quick={baseline.get('quick')} vs "
+            f"current quick={current.get('quick')}; regenerate the baseline"
+        ]
+    for name, entry in current.get("benches", {}).items():
+        base = baseline.get("benches", {}).get(name)
+        if base is None:
+            continue  # new bench: nothing to regress against
+        if entry["work"] != base["work"]:
+            failures.append(
+                f"{name}: deterministic work drifted: baseline {base['work']} "
+                f"vs current {entry['work']}"
+            )
+        limit = base["normalized"] * (1.0 + tolerance)
+        if entry["normalized"] > limit:
+            slower = entry["normalized"] / base["normalized"] - 1.0
+            failures.append(
+                f"{name}: normalized wall time regressed {slower:+.1%} "
+                f"({base['normalized']:.2f} -> {entry['normalized']:.2f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Run the micro/macro performance suites and write (or check "
+            "against) the BENCH_micro.json / BENCH_macro.json baselines."
+        ),
+    )
+    parser.add_argument(
+        "--suite",
+        choices=["micro", "macro", "all"],
+        default="all",
+        help="which suite(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller workloads, fewer shard counts",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "compare against the committed baselines instead of "
+            "overwriting them; exit 1 on >tolerance regression or "
+            "deterministic drift"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRAC",
+        help="allowed normalized-wall-time regression for --check (default: 0.25)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="micro-bench repetitions; best-of is recorded (default: 3)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding BENCH_*.json (default: current directory)",
+    )
+    return parser
+
+
+def _print_suite(doc: dict) -> None:
+    print(f"{doc['suite']} suite ({'quick' if doc['quick'] else 'full'}), "
+          f"calibration {doc['calibration_s'] * 1e3:.1f} ms")
+    width = max(len(name) for name in doc["benches"])
+    for name, entry in doc["benches"].items():
+        detail = ", ".join(f"{k}={v}" for k, v in entry["work"].items())
+        print(
+            f"  {name:<{width}}  {entry['wall_s'] * 1e3:9.1f} ms  "
+            f"x{entry['normalized']:8.2f}  [{detail}]"
+        )
+
+
+def bench_main(argv=None) -> int:
+    args = build_bench_parser().parse_args(argv)
+    out_dir = Path(args.out_dir)
+    suites = []
+    if args.suite in ("micro", "all"):
+        suites.append((MICRO_BASELINE, run_micro_suite(args.quick, repeats=args.repeats)))
+    if args.suite in ("macro", "all"):
+        suites.append((MACRO_BASELINE, run_macro_suite(args.quick)))
+
+    failures: List[str] = []
+    for filename, doc in suites:
+        _print_suite(doc)
+        path = out_dir / filename
+        if args.check:
+            if not path.exists():
+                failures.append(f"{filename}: no committed baseline at {path}")
+                continue
+            baseline = json.loads(path.read_text())
+            suite_failures = check_against_baseline(doc, baseline, args.tolerance)
+            if suite_failures:
+                failures.extend(f"{filename}: {msg}" for msg in suite_failures)
+            else:
+                print(f"  OK vs {path} (tolerance {args.tolerance:.0%})")
+        else:
+            path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            print(f"  wrote {path}")
+    if failures:
+        print("\nBENCH CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    return 0

@@ -75,8 +75,17 @@ class HostClock:
         return raw_ns - self._correction_at_raw(raw_ns)
 
     def now(self) -> int:
-        """Disciplined local time: what ``clock_gettime`` would return."""
-        return self.discipline(self.raw_local())
+        """Disciplined local time: what ``clock_gettime`` would return.
+
+        Inlines ``discipline(raw_local())`` -- this is the hottest
+        read in the simulation (every send, offer, and stamp), and the
+        three-call chain showed up in profiles.
+        """
+        t = self.sim.now
+        raw = t + self.offset_ns + (self.drift_ppb * t) // _BILLION
+        return raw - self._corr0_ns - (
+            self._corr_rate_ppb * (raw - self._corr_ref_raw)
+        ) // _BILLION
 
     def error_ns(self) -> int:
         """Current residual error of the disciplined clock vs true time."""
@@ -118,10 +127,18 @@ class HostClock:
         three rounds are exact to the nanosecond.
         """
         # Invert discipline: find raw R with R - correction(R) = local.
-        raw = local_ns
-        for _ in range(3):
-            raw = local_ns + self._correction_at_raw(raw)
+        # With no rate term the fixed point is exact in one step (the
+        # common case: pure-offset corrections and undisciplined
+        # clocks); same for a driftless raw clock below.
+        if self._corr_rate_ppb == 0:
+            raw = local_ns + self._corr0_ns
+        else:
+            raw = local_ns
+            for _ in range(3):
+                raw = local_ns + self._correction_at_raw(raw)
         # Invert raw_local: find true t with t + offset + drift*t = raw.
+        if self.drift_ppb == 0:
+            return raw - self.offset_ns
         t = raw - self.offset_ns
         for _ in range(3):
             t = raw - self.offset_ns - (self.drift_ppb * t) // _BILLION

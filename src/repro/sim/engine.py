@@ -27,7 +27,7 @@ class Event:
     :meth:`cancel`.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "_sim", "_in_heap")
 
     def __init__(
         self,
@@ -36,6 +36,7 @@ class Event:
         seq: int,
         fn: Callable[..., None],
         args: tuple,
+        sim: "Optional[Simulator]" = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -43,10 +44,15 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
+        self._in_heap = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._in_heap and self._sim is not None:
+                self._sim._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -85,8 +91,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        # Heap entries are ``(time, priority, seq, event)`` tuples so
+        # sift comparisons stay in C (tuple < tuple) instead of calling
+        # ``Event.__lt__`` millions of times per run.
+        self._heap: List[tuple] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self.events_processed: int = 0
@@ -126,9 +136,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time_ns} ns; simulation time is already {self.now} ns"
             )
-        event = Event(time_ns, priority, self._seq, fn, args)
+        event = Event(time_ns, priority, self._seq, fn, args, self)
+        event._in_heap = True
+        heapq.heappush(self._heap, (time_ns, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_fault(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
@@ -148,43 +160,68 @@ class Simulator:
 
         When ``until`` is given, simulation time is advanced to exactly
         ``until`` even if the last event fires earlier, so back-to-back
-        ``run(until=...)`` calls tile time contiguously.
+        ``run(until=...)`` calls tile time contiguously.  The
+        fast-forward is skipped when the loop was cut short by
+        ``max_events`` or :meth:`stop` with events still pending before
+        ``until`` -- advancing past them would make the next ``run()``
+        pop those events and move ``now`` *backwards*.
         """
         if self._running:
             raise SimulationError("run() called re-entrantly from within an event handler")
         self._running = True
         self._stopped = False
         processed = 0
+        hit_max_events = False
+        # Hot loop: locals for the heap and heappop, and float("inf")
+        # sentinels so the per-event limit checks are plain comparisons
+        # (int/float comparison in Python is exact, no precision loss).
+        heap = self._heap
+        heappop = heapq.heappop
+        horizon = until if until is not None else float("inf")
+        stop_after = max_events if max_events is not None else float("inf")
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
-                if max_events is not None and processed >= max_events:
+                if processed >= stop_after:
+                    hit_max_events = True
                     break
-                event = self._heap[0]
-                if until is not None and event.time > until:
+                entry = heap[0]
+                event_time = entry[0]
+                if event_time > horizon:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
+                event = entry[3]
+                event._in_heap = False
                 if event.cancelled:
                     continue
-                self.now = event.time
+                self._live -= 1
+                self.now = event_time
                 if self.dispatch_hook is not None:
                     self.dispatch_hook(event)
                 event.fn(*event.args)
                 processed += 1
-                self.events_processed += 1
         finally:
             self._running = False
-        if until is not None and not self._stopped and self.now < until:
+            self.events_processed += processed
+        if (
+            until is not None
+            and not self._stopped
+            and not hit_max_events
+            and self.now < until
+        ):
             self.now = until
 
     def step(self) -> bool:
         """Run a single event.  Returns False when no events remain."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            event = entry[3]
+            event._in_heap = False
             if event.cancelled:
                 continue
-            self.now = event.time
+            self._live -= 1
+            self.now = entry[0]
             if self.dispatch_hook is not None:
                 self.dispatch_hook(event)
             event.fn(*event.args)
@@ -197,8 +234,9 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of scheduled, non-cancelled events (O(1): a live
+        counter maintained by schedule/cancel/dispatch)."""
+        return self._live
 
     def __repr__(self) -> str:
         return f"Simulator(now={self.now}, pending={len(self._heap)})"

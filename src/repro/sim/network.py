@@ -19,7 +19,6 @@ raised: crash behaviour is data, not an error.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.clock import HostClock
@@ -29,15 +28,29 @@ from repro.sim.latency import LatencyModel
 from repro.sim.rng import RngRegistry
 
 
-@dataclass
 class Message:
-    """A payload in flight, with transport metadata for metrics."""
+    """A payload in flight, with transport metadata for metrics.
 
-    payload: Any
-    src: str
-    dst: str
-    sent_at: int
-    delivered_at: int = -1
+    A plain ``__slots__`` class: one is allocated per send, so the
+    per-instance dict and dataclass machinery are measurable overhead.
+    """
+
+    __slots__ = ("payload", "src", "dst", "sent_at", "delivered_at")
+
+    def __init__(
+        self, payload: Any, src: str, dst: str, sent_at: int, delivered_at: int = -1
+    ) -> None:
+        self.payload = payload
+        self.src = src
+        self.dst = dst
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    def __repr__(self) -> str:
+        return (
+            f"Message({self.payload!r}, {self.src}->{self.dst}, "
+            f"sent_at={self.sent_at}, delivered_at={self.delivered_at})"
+        )
 
 
 class Host:
@@ -141,6 +154,12 @@ class Link:
         self._blocked: int = 0
         self.dropped_partitioned: int = 0
         self.partition_counter = partition_counter
+        # Prebound per-send hot references (a bound method per send is
+        # an allocation; endpoints never change after construction).
+        self._deliver = dst.deliver
+        self._sample = latency.sample
+        self._src_name = src.name
+        self._dst_name = dst.name
 
     # ------------------------------------------------------------------
     # Runtime faults (repro.chaos)
@@ -190,7 +209,7 @@ class Link:
         the handle) but never scheduled for delivery.
         """
         now = self.sim.now
-        message = Message(payload=payload, src=self.src.name, dst=self.dst.name, sent_at=now)
+        message = Message(payload, self._src_name, self._dst_name, now)
         if not self.src.up:
             self.src.dropped_sends_while_down += 1
             if self.src.drop_counter is not None:
@@ -201,7 +220,7 @@ class Link:
             if self.partition_counter is not None:
                 self.partition_counter.inc()
             return message
-        delay = self.latency.sample(self.rng, now)
+        delay = self._sample(self.rng, now)
         if self._fault is not None:
             multiplier, extra_ns = self._fault
             delay = int(delay * multiplier) + extra_ns
@@ -211,7 +230,7 @@ class Link:
         self._last_arrival = arrival
         self.messages_sent += 1
         self.total_delay_ns += arrival - now
-        self.sim.schedule_at(arrival, self.dst.deliver, message)
+        self.sim.schedule_at(arrival, self._deliver, message)
         return message
 
     def mean_delay_us(self) -> float:
@@ -295,7 +314,10 @@ class Network:
 
     def send(self, src: str, dst: str, payload: Any) -> Message:
         """Send ``payload`` from ``src`` to ``dst`` over their link."""
-        return self.link(src, dst).send(payload)
+        link = self.links.get((src, dst))
+        if link is None:
+            raise KeyError(f"no link {src}->{dst}; call connect() first")
+        return link.send(payload)
 
     def host(self, name: str) -> Host:
         """Look up a host by name."""

@@ -76,14 +76,30 @@ class TestLate:
         assert report.lateness_ns == 2_000
         assert report.hold_ns == 0
 
-    def test_exactly_on_time_counts_late(self):
-        # arrival == release time: the buffer cannot hold it, so other
-        # gateways may already have released -- counted unfair.
+    def test_exactly_on_time_is_not_late(self):
+        # arrival == release time: the piece is released at t_R, the
+        # same instant every other gateway releases -- a perfectly fair
+        # delivery must not inflate the outbound unfairness ratio (or
+        # push DDP's d_h upward).
         h = Harness()
         h.offer_at(10_000, piece(release_at=10_000))
         h.sim.run()
-        assert h.reports[0].late is True
-        assert h.reports[0].lateness_ns == 0
+        assert h.releases == [(1, 10_000)]
+        report = h.reports[0]
+        assert report.late is False
+        assert report.lateness_ns == 0
+        assert report.hold_ns == 0
+        assert h.buffer.late_count == 0
+
+    def test_one_ns_past_release_is_late(self):
+        h = Harness()
+        h.offer_at(10_001, piece(release_at=10_000))
+        h.sim.run()
+        report = h.reports[0]
+        assert report.late is True
+        assert report.lateness_ns == 1
+        assert report.hold_ns == 0
+        assert h.buffer.late_count == 1
 
 
 class TestStats:

@@ -94,6 +94,71 @@ class TestMdAggregation:
         assert m.mean_releasing_delay_us() == pytest.approx(2.0)
 
 
+class TestMdPartialFinalization:
+    def test_flush_finalizes_piece_with_remaining_reports_in(self):
+        # Fan-out of 2; one gateway reported, the other crashed and
+        # flushed: the piece finalizes as partial with the one report.
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=2)
+        m.record_md_report(1, late=False, lateness_ns=0, hold_ns=100)
+        assert m.record_md_flush([1]) == [False]
+        assert m.md_pieces_partial == 1
+        assert m.md_pieces_finalized == 0
+        assert m.open_md_pieces() == 0
+
+    def test_flush_of_only_gateway_counts_unreported(self):
+        # Fan-out of 1 and that gateway flushed: no report ever existed,
+        # so the piece carries no fairness information.
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=1)
+        assert m.record_md_flush([1]) == []
+        assert m.md_pieces_unreported == 1
+        assert m.md_pieces_partial == 0
+        assert m.open_md_pieces() == 0
+
+    def test_flush_keeps_piece_open_while_reports_outstanding(self):
+        # Fan-out of 3, one flush: two live gateways still owe reports.
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=3)
+        assert m.record_md_flush([1]) == []
+        assert m.open_md_pieces() == 1
+        m.record_md_report(1, late=True, lateness_ns=5, hold_ns=0)
+        assert m.record_md_report(1, late=False, lateness_ns=0, hold_ns=10) is True
+        assert m.md_pieces_finalized == 1
+        assert m.md_pieces_unfair == 1
+
+    def test_partial_late_piece_counts_unfair(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=2)
+        m.record_md_report(1, late=True, lateness_ns=7, hold_ns=0)
+        assert m.record_md_flush([1]) == [True]
+        assert m.md_pieces_unfair == 1
+        assert m.outbound_unfairness_ratio() == pytest.approx(1.0)
+
+    def test_unfairness_ratio_excludes_unreported(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=1)
+        m.record_md_report(1, late=True, lateness_ns=3, hold_ns=0)  # finalized unfair
+        m.register_md_piece(2, expected_reports=1)
+        m.record_md_flush([2])  # unreported: no information
+        assert m.md_pieces_unreported == 1
+        assert m.outbound_unfairness_ratio() == pytest.approx(1.0)
+
+    def test_finalize_partial_md_closes_everything(self):
+        m = MetricsCollector()
+        m.register_md_piece(1, expected_reports=2)
+        m.record_md_report(1, late=False, lateness_ns=0, hold_ns=50)
+        m.register_md_piece(2, expected_reports=2)
+        assert m.finalize_partial_md() == 2
+        assert m.open_md_pieces() == 0
+        assert m.md_pieces_partial == 1
+        assert m.md_pieces_unreported == 1
+
+    def test_flush_of_unknown_seq_ignored(self):
+        m = MetricsCollector()
+        assert m.record_md_flush([99]) == []
+
+
 class TestThroughputAndSummary:
     def test_throughput(self):
         m = MetricsCollector()

@@ -1,0 +1,65 @@
+"""Golden-run fixtures: the behavioral contract for performance work.
+
+The committed JSON fixtures pin the *exact* output of two deterministic
+runs -- a small cluster with the default feature set and the chaos
+``smoke`` scenario.  Any change to event ordering, RNG draw sequence,
+matching semantics, or metrics accounting shifts these numbers; a pure
+performance optimization must reproduce them bit-for-bit.
+
+Regenerate after an *intentional* behavior change with::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/integration/test_golden_run.py
+
+and review the fixture diff like code.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.chaos.scenarios import run_scenario
+from repro.core.cluster import CloudExCluster
+from tests.conftest import small_config
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+
+def _normalize(value):
+    """Round-trip through JSON so tuples/ints compare like the fixture."""
+    return json.loads(json.dumps(value, sort_keys=True))
+
+
+def _check(name: str, actual: dict) -> None:
+    path = GOLDEN_DIR / name
+    actual = _normalize(actual)
+    if REGEN:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {name}")
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        f"{name} drifted from the golden fixture -- if the behavior change "
+        f"is intentional, regenerate with GOLDEN_REGEN=1 and review the diff"
+    )
+
+
+def test_small_cluster_matches_golden():
+    cluster = CloudExCluster(small_config())
+    cluster.add_default_workload(rate_per_participant=200.0)
+    cluster.run(duration_s=0.6)
+    summary = cluster.metrics.summary()
+    summary["events_processed"] = cluster.sim.events_processed
+    summary["d_s"] = cluster.exchange.current_sequencer_delay_ns()
+    summary["d_h"] = cluster.exchange.d_h
+    summary["rows"] = cluster.trade_table.row_count()
+    summary["md_finalized_at_end"] = cluster.finalize_metrics()
+    summary["cpu"] = sorted(cluster.cpu_report().items())
+    _check("golden_small_cluster.json", summary)
+
+
+def test_chaos_smoke_matches_golden():
+    result = run_scenario("smoke")
+    _check("golden_chaos_smoke.json", result.report.to_dict())

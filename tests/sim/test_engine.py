@@ -103,6 +103,35 @@ class TestRunControl:
         sim.run(max_events=4)
         assert hits == [0, 1, 2, 3]
 
+    def test_max_events_with_until_does_not_warp_time(self, sim):
+        """Regression: breaking on max_events with events still pending
+        before `until` must not fast-forward `now` past them -- the next
+        run() would pop those events and move time backwards."""
+        hits = []
+        for t in (10, 20, 30):
+            sim.schedule(t, hits.append, t)
+        sim.run(until=100, max_events=1)
+        assert hits == [10]
+        assert sim.now == 10  # not warped to 100
+        # Scheduling between the pending events and `until` stays legal.
+        sim.schedule_at(15, hits.append, 15)
+        sim.run(until=100)
+        assert hits == [10, 15, 20, 30]
+        assert sim.now == 100  # natural drain: fast-forward applies
+        times = []
+        sim.schedule_at(200, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [200]
+
+    def test_max_events_break_then_resume_time_is_monotone(self, sim):
+        observed = []
+        for t in (10, 20, 30, 40):
+            sim.schedule(t, lambda: observed.append(sim.now))
+        sim.run(until=1_000, max_events=2)
+        sim.run(until=1_000)
+        assert observed == sorted(observed)
+        assert sim.now == 1_000
+
     def test_stop_from_handler(self, sim):
         hits = []
         sim.schedule(10, hits.append, 1)
