@@ -26,7 +26,14 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit, paper_testbed_config, run_measured
+from benchmarks.conftest import (
+    PAPER_SEED,
+    bench_jobs,
+    bench_scale,
+    emit,
+    paper_testbed_overrides,
+)
+from repro.exp import SweepSpec, run_sweep
 
 REPLICATION_FACTORS = (1, 2, 3, 4, 5)
 
@@ -38,17 +45,32 @@ PAPER_CPU = {1: (13.0, 2.4, 0.4), 2: (14.1, 2.7, 0.5), 3: (15.4, 3.1, 0.6),
 
 @pytest.fixture(scope="module")
 def ros_results():
+    from types import SimpleNamespace
+
+    scale = bench_scale()
+    outcome = run_sweep(
+        SweepSpec(
+            name="fig6-ros",
+            grid=[{"replication_factor": rf} for rf in REPLICATION_FACTORS],
+            seeds=[PAPER_SEED],
+            base=paper_testbed_overrides(cancel_fraction=0.0),
+            warmup_s=0.3 * scale,
+            duration_s=1.5 * scale,
+        ),
+        jobs=bench_jobs(),
+    )
+    assert outcome.ok, outcome.failures
     results = {}
-    for rf in REPLICATION_FACTORS:
-        cluster = run_measured(
-            paper_testbed_config(replication_factor=rf, cancel_fraction=0.0),
-            warmup_s=0.3,
-            measure_s=1.5,
+    for entry in outcome.document["points"]:
+        rf = entry["point"]["replication_factor"]
+        payload = entry["result"]
+        summary = SimpleNamespace(
+            p50_us=payload["submission_p50_us"],
+            p99_us=payload["submission_p99_us"],
+            p999_us=payload["submission_p999_us"],
         )
-        summary = cluster.metrics.submission_summary()
-        cpu = cluster.cpu_report()
-        results[rf] = (summary, cpu, cluster.metrics.duplicates_dropped,
-                       cluster.metrics.replicas_received)
+        results[rf] = (summary, payload["cpu"], payload["duplicates_dropped"],
+                       payload["replicas_received"])
     return results
 
 

@@ -34,11 +34,27 @@ def bench_scale() -> float:
     return float(os.environ.get("CLOUDEX_BENCH_SCALE", "1.0"))
 
 
-def paper_testbed_config(**overrides) -> CloudExConfig:
-    """The §4 testbed: 48 participants, 16 gateways, 100 symbols,
-    ~22k orders/s, one shard unless overridden."""
+def bench_jobs() -> int:
+    """Sweep worker processes from CLOUDEX_BENCH_JOBS (default 1).
+
+    The measured trajectories are identical for any value (see
+    repro.exp); more jobs just finishes a multi-point benchmark
+    sooner on a multi-core machine.
+    """
+    return int(os.environ.get("CLOUDEX_BENCH_JOBS", "1"))
+
+
+#: The §4 testbed shape shared by every benchmark.  The seed is what
+#: every historical benchmark run used; sweeps pass it explicitly via
+#: ``SweepSpec(seeds=[PAPER_SEED])`` so trajectories stay unchanged.
+PAPER_SEED = 2021
+
+
+def paper_testbed_overrides(**overrides) -> dict:
+    """The §4 testbed as a plain override dict (for sweep specs):
+    48 participants, 16 gateways, 100 symbols, ~22k orders/s, one
+    shard unless overridden."""
     defaults = dict(
-        seed=2021,
         n_participants=48,
         n_gateways=16,
         n_symbols=100,
@@ -50,7 +66,13 @@ def paper_testbed_config(**overrides) -> CloudExConfig:
         cancel_fraction=0.05,
     )
     defaults.update(overrides)
-    return CloudExConfig(**defaults)
+    return defaults
+
+
+def paper_testbed_config(**overrides) -> CloudExConfig:
+    """The §4 testbed as a built config (see paper_testbed_overrides)."""
+    seed = overrides.pop("seed", PAPER_SEED)
+    return CloudExConfig(seed=seed, **paper_testbed_overrides(**overrides))
 
 
 def run_measured(

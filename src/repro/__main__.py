@@ -18,6 +18,10 @@ and prints the chaos report with its invariant findings; see
 writes (or, with ``--check``, compares against) the persistent
 ``BENCH_micro.json`` / ``BENCH_macro.json`` baselines; see
 ``python -m repro bench --help``.
+
+``python -m repro sweep`` runs a (config x seed) experiment grid over
+a parallel worker pool with deterministic aggregation and on-disk
+result caching; see ``python -m repro sweep --help``.
 """
 
 from __future__ import annotations
@@ -42,6 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
             "          print the invariant-checked chaos report\n"
             "  bench   run the micro/macro performance suites and write or\n"
             "          check the BENCH_*.json baselines\n"
+            "  sweep   run a (config x seed) experiment grid over a parallel\n"
+            "          worker pool with caching and deterministic output\n"
             "\n"
             "see `python -m repro <subcommand> --help` for their options"
         ),
@@ -208,6 +214,10 @@ def main(argv=None) -> int:
         from repro.perf.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        from repro.exp.cli import sweep_main
+
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = CloudExConfig(
         seed=args.seed,

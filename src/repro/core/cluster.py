@@ -443,6 +443,48 @@ class CloudExCluster:
         self._ran_ns = until
         self.metrics.measure_end_true = self.sim.now
 
+    def measured_run(
+        self,
+        warmup_s: float,
+        duration_s: float,
+        rate_per_participant: Optional[float] = None,
+        strategy_factory=None,
+    ) -> None:
+        """The standard measurement protocol, in one call.
+
+        Attach the default workload, warm up for ``warmup_s`` (DDP
+        converges, queues prime), discard the transient with
+        :meth:`reset_metrics`, then measure for ``duration_s``.  This
+        is the protocol every benchmark hand-rolls; the sweep runner
+        (:mod:`repro.exp`) executes exactly this in each worker.
+        """
+        self.add_default_workload(
+            rate_per_participant=rate_per_participant,
+            strategy_factory=strategy_factory,
+        )
+        if warmup_s > 0:
+            self.run(duration_s=warmup_s)
+        self.reset_metrics()
+        self.run(duration_s=duration_s)
+
+    def result_payload(self) -> Dict[str, object]:
+        """Everything a sweep records about a finished run, as one
+        JSON-serializable dict.
+
+        Closes out in-flight market data first (so unfairness ratios
+        include partial-but-valid samples), then merges the metrics
+        summary with the controller state, CPU report, and event count
+        that the benchmarks read off the cluster directly.
+        """
+        md_finalized = self.finalize_metrics()
+        payload: Dict[str, object] = dict(self.metrics.summary())
+        payload["md_finalized_at_end"] = md_finalized
+        payload["d_s_ns"] = self.exchange.current_sequencer_delay_ns()
+        payload["d_h_ns"] = self.exchange.d_h
+        payload["events_processed"] = self.sim.events_processed
+        payload["cpu"] = self.cpu_report()
+        return payload
+
     def _on_hr_flush(self, seqs: List[int]) -> None:
         """Finalize md pieces orphaned by a gateway's H/R flush; feed
         the partial-but-valid unfairness samples to outbound DDP."""

@@ -104,16 +104,30 @@ class EngineShard:
         self._lock_service_ns = int(server.config.lock_service_us * MICROSECOND)
         self._book_cv = server.config.book_service_cv
         self._lock_cv = server.config.lock_service_cv
+        # Gamma (shape, scale) pairs precomputed once: the mean/CV
+        # never change after construction, and _service_sample runs
+        # twice per order.  The arithmetic matches the previous
+        # per-call computation exactly, so draws are bit-identical.
+        self._book_gamma = self._gamma_params(self._book_service_ns, self._book_cv)
+        self._lock_gamma = self._gamma_params(self._lock_service_ns, self._lock_cv)
         self._rng = server.rng
         self._busy = False
         self._backlog: Deque[_SequencedItem] = deque()
 
-    def _service_sample(self, mean_ns: int, cv: float) -> int:
-        """Gamma-distributed service time with the configured mean/CV."""
+    @staticmethod
+    def _gamma_params(mean_ns: int, cv: float):
+        """``(shape, scale)`` for a gamma with this mean/CV, or None if
+        the CV is zero (deterministic service)."""
         if cv <= 0.0:
-            return mean_ns
+            return None
         shape = 1.0 / (cv * cv)
-        sample = self._rng.gamma(shape, mean_ns / shape)
+        return (shape, mean_ns / shape)
+
+    def _service_sample(self, mean_ns: int, params) -> int:
+        """Gamma-distributed service time with the configured mean/CV."""
+        if params is None:
+            return mean_ns
+        sample = self._rng.gamma(params[0], params[1])
         return max(1, int(sample))
 
     # ------------------------------------------------------------------
@@ -131,13 +145,13 @@ class EngineShard:
     def _begin(self, item: _SequencedItem) -> None:
         self._busy = True
         self.sim.schedule(
-            self._service_sample(self._book_service_ns, self._book_cv), self._book_done, item
+            self._service_sample(self._book_service_ns, self._book_gamma), self._book_done, item
         )
 
     def _book_done(self, item: _SequencedItem) -> None:
         # Queue for the global portfolio lock; the shard stays blocked.
         self.server.lock_pool.submit(
-            self._service_sample(self._lock_service_ns, self._lock_cv),
+            self._service_sample(self._lock_service_ns, self._lock_gamma),
             self._finalize,
             item,
             category="portfolio-lock",

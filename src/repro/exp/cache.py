@@ -1,0 +1,104 @@
+"""Content-hashed on-disk cache for sweep task results.
+
+A cache entry is keyed by everything that determines a task's result:
+the fully-resolved task payload (config overrides including the seed,
+offered rate, measurement windows) *and* a hash of the simulator's own
+source tree.  Editing any file under ``repro/`` therefore invalidates
+every entry automatically -- the cache can never serve results from an
+older build of the simulator -- while re-running an unchanged sweep
+executes zero tasks.
+
+Entries are one JSON file each under ``.repro-cache/`` (configurable),
+safe to delete wholesale at any time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: Optional[str] = None
+
+
+def code_version_hash() -> str:
+    """BLAKE2 digest over the installed ``repro`` package's sources.
+
+    Hashes every ``*.py`` file under the package root in sorted
+    relative-path order (path and content both feed the digest), so
+    renames, additions, and edits all change the version.  Memoized
+    per process: the tree cannot change under a running sweep.
+    """
+    global _code_version
+    if _code_version is not None:
+        return _code_version
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.blake2b(digest_size=16)
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    _code_version = digest.hexdigest()
+    return _code_version
+
+
+class ResultCache:
+    """One-file-per-result cache with content-hashed keys."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, payload: Dict[str, object], code_version: Optional[str] = None) -> str:
+        """The cache key for a task payload (see module docstring)."""
+        if code_version is None:
+            code_version = code_version_hash()
+        blob = json.dumps(
+            {"payload": payload, "code": code_version},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached result for ``key``, or None.
+
+        A corrupt entry (interrupted write, manual tampering) reads as
+        a miss and is removed, never an error.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                result = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            if path.exists():
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Dict[str, object]) -> None:
+        """Store a result atomically (rename over a temp file)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(result, sort_keys=True))
+        os.replace(tmp, path)
+
+    def __repr__(self) -> str:
+        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -7,10 +7,16 @@ Schema (both files)
     {
       "suite": "micro" | "macro",
       "quick": bool,               # quick (CI smoke) or full workloads
-      "calibration_s": float,      # wall time of the fixed calibration loop
+      "jobs": int,                 # worker processes (1 = inline; the
+                                   #   committed baselines are jobs=1)
+      "calibration_s": float,      # median of the per-bench calibrations
+                                   #   (null when jobs > 1: each worker
+                                   #   calibrates itself)
       "benches": {
         "<name>": {
           "wall_s": float,         # best-of-repeats wall time
+          "calibration_s": float,  # calibration measured just before
+                                   #   this bench, in the same process
           "normalized": float,     # wall_s / calibration_s  (machine-free)
           "work": {...}            # deterministic outputs: event counts,
         }                          #   orders matched, simulated throughput
@@ -24,9 +30,12 @@ Two kinds of fields, two kinds of guarantees:
   A drift here is a determinism regression, not noise.
 * ``wall_s`` is machine-dependent, so comparisons use ``normalized`` =
   wall time divided by the wall time of a fixed pure-Python
-  *calibration loop* run in the same process.  Machine speed (and most
-  of its variance) cancels out, which is what makes a committed
-  baseline meaningful on a different CI runner.
+  *calibration loop* measured immediately before each bench in the
+  same process.  Machine speed cancels out, which is what makes a
+  committed baseline meaningful on a different CI runner; calibrating
+  per bench (rather than once per suite) also cancels speed *drift*
+  across a run — CPU-steal spells on virtualized hardware slow the
+  adjacent calibration by the same factor as the bench itself.
 
 ``--check`` re-runs the suites and fails when any bench's normalized
 time regresses by more than ``--tolerance`` (default 25%) against the
@@ -231,29 +240,77 @@ def _bench_clock_now(n: int) -> dict:
     return {"reads": n, "total": total}
 
 
-def run_micro_suite(quick: bool, repeats: int = 3) -> dict:
-    """Run every micro bench; returns the baseline document (sans file)."""
-    # Sizes keep each bench comfortably above ~30 ms even in quick
-    # mode: much shorter and scheduler noise approaches the --check
-    # tolerance.
-    scale = 3 if quick else 10
-    benches: Dict[str, Tuple[Callable[[], dict], int]] = {
-        "book_add_cancel": (lambda: _bench_book_add_cancel(2_000 * scale), repeats),
-        "matching_crossing": (lambda: _bench_matching_crossing(2_000 * scale), repeats),
-        "depth_snapshots": (lambda: _bench_depth_snapshots(1_000 * scale), repeats),
-        "engine_dispatch": (lambda: _bench_engine_dispatch(20_000 * scale), repeats),
-        "sequencer": (lambda: _bench_sequencer(5_000 * scale), repeats),
-        "clock_now": (lambda: _bench_clock_now(50_000 * scale), repeats),
-    }
+#: name -> (bench fn, base size).  Quick mode multiplies sizes by 3,
+#: full mode by 10 -- sizes keep each bench comfortably above ~30 ms
+#: even in quick mode: much shorter and scheduler noise approaches the
+#: --check tolerance.
+_MICRO_BENCHES: Dict[str, Tuple[Callable[[int], dict], int]] = {
+    "book_add_cancel": (_bench_book_add_cancel, 2_000),
+    "matching_crossing": (_bench_matching_crossing, 2_000),
+    "depth_snapshots": (_bench_depth_snapshots, 1_000),
+    "engine_dispatch": (_bench_engine_dispatch, 20_000),
+    "sequencer": (_bench_sequencer, 5_000),
+    "clock_now": (_bench_clock_now, 50_000),
+}
+
+
+def _micro_worker(item: Tuple[str, bool, int]) -> Tuple[str, dict]:
+    """Pool worker: one micro bench, calibrated in its own process.
+
+    Each worker runs the calibration loop itself, so its normalized
+    value is measured under the same CPU contention as the bench --
+    that is what keeps parallel runs roughly comparable, though the
+    committed baselines stay jobs=1 where contention is zero.
+    """
+    name, quick, repeats = item
+    fn, base = _MICRO_BENCHES[name]
+    size = base * (3 if quick else 10)
     calibration = calibrate()
-    doc = {"suite": "micro", "quick": quick, "calibration_s": calibration, "benches": {}}
-    for name, (fn, reps) in benches.items():
-        wall, work = _time_bench(fn, reps)
-        doc["benches"][name] = {
-            "wall_s": wall,
-            "normalized": wall / calibration,
-            "work": work,
-        }
+    wall, work = _time_bench(lambda: fn(size), repeats)
+    return name, {
+        "wall_s": wall,
+        "calibration_s": calibration,
+        "normalized": wall / calibration,
+        "work": work,
+    }
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_micro_suite(quick: bool, repeats: int = 3, jobs: int = 1) -> dict:
+    """Run every micro bench; returns the baseline document (sans file)."""
+    scale = 3 if quick else 10
+    doc = {"suite": "micro", "quick": quick, "jobs": jobs, "benches": {}}
+    if jobs == 1:
+        for name, (fn, base) in _MICRO_BENCHES.items():
+            size = base * scale
+            calibration = calibrate()
+            wall, work = _time_bench(lambda: fn(size), repeats)
+            doc["benches"][name] = {
+                "wall_s": wall,
+                "calibration_s": calibration,
+                "normalized": wall / calibration,
+                "work": work,
+            }
+        doc["calibration_s"] = _median(
+            [entry["calibration_s"] for entry in doc["benches"].values()]
+        )
+        return doc
+    from repro.exp.pool import run_parallel
+
+    items = [(name, quick, repeats) for name in _MICRO_BENCHES]
+    doc["calibration_s"] = None  # per-worker; see _micro_worker
+    for result in run_parallel(_micro_worker, items, jobs=jobs, retries=0):
+        if not result.ok:
+            raise RuntimeError(f"micro bench worker failed:\n{result.error}")
+        name, entry = result.value
+        doc["benches"][name] = entry
     return doc
 
 
@@ -301,30 +358,66 @@ def _run_macro_once(n_shards: int, duration_s: float) -> Tuple[float, dict]:
     return wall, work
 
 
-def run_macro_suite(quick: bool, repeats: int = 1) -> dict:
+def _macro_point(shards: int, duration_s: float, repeats: int) -> Tuple[float, dict]:
+    """Best-of-``repeats`` wall time for one shard count, with the
+    cross-repeat determinism assertion."""
+    best_wall: float = float("inf")
+    work: Optional[dict] = None
+    for _ in range(max(1, repeats)):
+        wall, this_work = _run_macro_once(shards, duration_s)
+        if work is None:
+            work = this_work
+        elif work != this_work:
+            raise AssertionError(
+                f"non-deterministic macro run at {shards} shards: {work} != {this_work}"
+            )
+        if wall < best_wall:
+            best_wall = wall
+    assert work is not None
+    return best_wall, work
+
+
+def _macro_worker(item: Tuple[int, float, int]) -> Tuple[int, dict]:
+    """Pool worker: one shard count, calibrated in its own process
+    (same contention rationale as :func:`_micro_worker`)."""
+    shards, duration_s, repeats = item
+    calibration = calibrate()
+    wall, work = _macro_point(shards, duration_s, repeats)
+    return shards, {
+        "wall_s": wall,
+        "calibration_s": calibration,
+        "normalized": wall / calibration,
+        "work": work,
+    }
+
+
+def run_macro_suite(quick: bool, repeats: int = 1, jobs: int = 1) -> dict:
     shard_counts = (1, 4) if quick else (1, 4, 8)
     duration_s = 0.15 if quick else 0.6
-    calibration = calibrate()
-    doc = {"suite": "macro", "quick": quick, "calibration_s": calibration, "benches": {}}
-    for shards in shard_counts:
-        best_wall: float = float("inf")
-        work: Optional[dict] = None
-        for _ in range(max(1, repeats)):
-            wall, this_work = _run_macro_once(shards, duration_s)
-            if work is None:
-                work = this_work
-            elif work != this_work:
-                raise AssertionError(
-                    f"non-deterministic macro run at {shards} shards: {work} != {this_work}"
-                )
-            if wall < best_wall:
-                best_wall = wall
-        assert work is not None
-        doc["benches"][f"table1_shards_{shards}"] = {
-            "wall_s": best_wall,
-            "normalized": best_wall / calibration,
-            "work": work,
-        }
+    doc = {"suite": "macro", "quick": quick, "jobs": jobs, "benches": {}}
+    if jobs == 1:
+        for shards in shard_counts:
+            calibration = calibrate()
+            wall, work = _macro_point(shards, duration_s, repeats)
+            doc["benches"][f"table1_shards_{shards}"] = {
+                "wall_s": wall,
+                "calibration_s": calibration,
+                "normalized": wall / calibration,
+                "work": work,
+            }
+        doc["calibration_s"] = _median(
+            [entry["calibration_s"] for entry in doc["benches"].values()]
+        )
+        return doc
+    from repro.exp.pool import run_parallel
+
+    items = [(shards, duration_s, repeats) for shards in shard_counts]
+    doc["calibration_s"] = None  # per-worker; see _macro_worker
+    for result in run_parallel(_macro_worker, items, jobs=jobs, retries=0):
+        if not result.ok:
+            raise RuntimeError(f"macro bench worker failed:\n{result.error}")
+        shards, entry = result.value
+        doc["benches"][f"table1_shards_{shards}"] = entry
     return doc
 
 
@@ -350,6 +443,12 @@ def check_against_baseline(
         return [
             f"mode mismatch: baseline quick={baseline.get('quick')} vs "
             f"current quick={current.get('quick')}; regenerate the baseline"
+        ]
+    if current.get("jobs", 1) != baseline.get("jobs", 1):
+        return [
+            f"jobs mismatch: baseline jobs={baseline.get('jobs', 1)} vs "
+            f"current jobs={current.get('jobs', 1)}; wall-clock comparisons "
+            "are only meaningful at equal parallelism"
         ]
     for name, entry in current.get("benches", {}).items():
         base = baseline.get("benches", {}).get(name)
@@ -423,12 +522,26 @@ def build_bench_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="directory holding BENCH_*.json (default: current directory)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "run benches through the repro.exp worker pool (each worker "
+            "calibrates itself); the default 1 runs inline, which is what "
+            "the committed baselines and --check assume"
+        ),
+    )
     return parser
 
 
 def _print_suite(doc: dict) -> None:
-    print(f"{doc['suite']} suite ({'quick' if doc['quick'] else 'full'}), "
-          f"calibration {doc['calibration_s'] * 1e3:.1f} ms")
+    calibration = (
+        f"calibration {doc['calibration_s'] * 1e3:.1f} ms"
+        if doc.get("calibration_s") is not None
+        else f"per-worker calibration, jobs={doc.get('jobs')}"
+    )
+    print(f"{doc['suite']} suite ({'quick' if doc['quick'] else 'full'}), {calibration}")
     width = max(len(name) for name in doc["benches"])
     for name, entry in doc["benches"].items():
         detail = ", ".join(f"{k}={v}" for k, v in entry["work"].items())
@@ -443,9 +556,11 @@ def bench_main(argv=None) -> int:
     out_dir = Path(args.out_dir)
     suites = []
     if args.suite in ("micro", "all"):
-        suites.append((MICRO_BASELINE, run_micro_suite(args.quick, repeats=args.repeats)))
+        suites.append(
+            (MICRO_BASELINE, run_micro_suite(args.quick, repeats=args.repeats, jobs=args.jobs))
+        )
     if args.suite in ("macro", "all"):
-        suites.append((MACRO_BASELINE, run_macro_suite(args.quick)))
+        suites.append((MACRO_BASELINE, run_macro_suite(args.quick, jobs=args.jobs)))
 
     failures: List[str] = []
     for filename, doc in suites:
@@ -462,6 +577,7 @@ def bench_main(argv=None) -> int:
             else:
                 print(f"  OK vs {path} (tolerance {args.tolerance:.0%})")
         else:
+            out_dir.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
             print(f"  wrote {path}")
     if failures:

@@ -143,6 +143,31 @@ class Simulator:
         self._live += 1
         return event
 
+    def schedule_message(self, time_ns: int, fn: Callable[[Any], None], arg: Any) -> None:
+        """Schedule ``fn(arg)`` at ``time_ns`` without allocating an Event.
+
+        A pinned-shape fast path for the single hottest schedule site --
+        message delivery, a quarter of all events in a cluster run.
+        Deliveries are never cancelled and always run at priority 0, so
+        the heap entry can carry a plain ``(fn, arg)`` tuple instead of
+        an :class:`Event`; no handle is returned.  A sequence number is
+        consumed from the same counter as :meth:`schedule_at`, so event
+        ordering -- and therefore the whole run -- is identical
+        whichever path a delivery takes.  While a ``dispatch_hook`` is
+        installed this delegates to :meth:`schedule_at` so profilers
+        see a real Event for every dispatch.
+        """
+        if self.dispatch_hook is not None:
+            self.schedule_at(time_ns, fn, arg)
+            return
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ns} ns; simulation time is already {self.now} ns"
+            )
+        heapq.heappush(self._heap, (time_ns, 0, self._seq, (fn, arg)))
+        self._seq += 1
+        self._live += 1
+
     def schedule_fault(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule a fault transition (crash, partition, clock step).
 
@@ -192,6 +217,16 @@ class Simulator:
                     break
                 heappop(heap)
                 event = entry[3]
+                if type(event) is tuple:
+                    # schedule_message fast-path entry: (fn, arg),
+                    # uncancellable, dispatched without hook checks
+                    # (schedule_message falls back to Events while a
+                    # dispatch_hook is installed).
+                    self._live -= 1
+                    self.now = event_time
+                    event[0](event[1])
+                    processed += 1
+                    continue
                 event._in_heap = False
                 if event.cancelled:
                     continue
@@ -217,6 +252,12 @@ class Simulator:
         while self._heap:
             entry = heapq.heappop(self._heap)
             event = entry[3]
+            if type(event) is tuple:
+                self._live -= 1
+                self.now = entry[0]
+                event[0](event[1])
+                self.events_processed += 1
+                return True
             event._in_heap = False
             if event.cancelled:
                 continue

@@ -33,6 +33,14 @@ class LatencyModel:
     #: No message is delivered faster than this (propagation floor).
     floor_ns: int = 1_000
 
+    #: True when every ``sample`` call draws the *same* signature from
+    #: the RNG (one kind, fixed distribution arguments) -- the shape a
+    #: :class:`repro.sim.rng.BufferedStream` can serve from prefetched
+    #: chunks.  Models that interleave draw kinds (spikes: gamma then
+    #: random) leave this False so their streams stay on the plain
+    #: scalar path rather than thrashing the buffer's rewind logic.
+    buffer_friendly: bool = False
+
     def sample(self, rng: np.random.Generator, now_ns: int) -> int:
         """Draw a one-way delay in integer nanoseconds."""
         raise NotImplementedError
@@ -45,6 +53,8 @@ class LatencyModel:
 class ConstantLatency(LatencyModel):
     """A fixed delay -- the 'equalized cable lengths' of an on-premise
     exchange, and the right null model for unit tests."""
+
+    buffer_friendly = True  # draws nothing at all
 
     def __init__(self, delay_ns: int) -> None:
         if delay_ns < 0:
@@ -60,13 +70,23 @@ class ConstantLatency(LatencyModel):
 
 
 class UniformLatency(LatencyModel):
-    """Uniform delay in ``[lo_ns, hi_ns]``."""
+    """Uniform delay in ``[lo_ns, hi_ns]``.
+
+    Like :class:`ConstantLatency`, the propagation floor is lowered to
+    ``lo_ns`` when the requested range starts below the class default:
+    ``UniformLatency(0, 500)`` really samples ``[0, 500]``, rather than
+    silently clamping every draw up to 1000 ns (which would exceed
+    ``hi_ns``, inverting the caller's bounds).
+    """
+
+    buffer_friendly = True
 
     def __init__(self, lo_ns: int, hi_ns: int) -> None:
         if not 0 <= lo_ns <= hi_ns:
             raise ValueError(f"need 0 <= lo <= hi, got [{lo_ns}, {hi_ns}]")
         self.lo_ns = int(lo_ns)
         self.hi_ns = int(hi_ns)
+        self.floor_ns = min(LatencyModel.floor_ns, self.lo_ns)
 
     def sample(self, rng: np.random.Generator, now_ns: int) -> int:
         return self._clamp(rng.integers(self.lo_ns, self.hi_ns + 1))
@@ -82,6 +102,8 @@ class LognormalLatency(LatencyModel):
     median pins the body; ``sigma`` controls tail weight (sigma ~0.25
     gives p99.9/median ~2.2; sigma ~0.45 gives ~4).
     """
+
+    buffer_friendly = True
 
     def __init__(self, median_ns: int, sigma: float) -> None:
         if median_ns <= 0:
@@ -104,10 +126,19 @@ class GammaLatency(LatencyModel):
 
     With ``shape < 1`` the queueing term has substantial probability
     mass near zero -- the un-queued probes whose lower envelope Huygens'
-    filtering recovers -- while still producing a heavy tail.  Pass
-    ``floor_ns=0`` when using this as a pure jitter component inside a
-    :class:`CompositeLatency`.
+    filtering recovers -- while still producing a heavy tail.
+
+    ``floor_ns`` is an escape hatch overriding the class-level 1000 ns
+    propagation floor: pass ``floor_ns=0`` when using this as a pure
+    jitter component inside a :class:`CompositeLatency` (the floor is
+    then applied once to the composed sum, not to each term), or a
+    larger value to model a longer physical path.  Unlike
+    :class:`UniformLatency`/:class:`ConstantLatency` the floor is *not*
+    auto-lowered from the parameters, because ``base_ns`` is a location
+    shift, not an upper bound promise -- callers must opt in.
     """
+
+    buffer_friendly = True
 
     def __init__(
         self, base_ns: int, shape: float, scale_ns: float, floor_ns: Optional[int] = None
@@ -166,6 +197,7 @@ class StragglerLatency(LatencyModel):
             raise ValueError(f"multiplier must be >= 1, got {multiplier}")
         self.base = base
         self.multiplier = float(multiplier)
+        self.buffer_friendly = base.buffer_friendly
 
     def sample(self, rng: np.random.Generator, now_ns: int) -> int:
         return self._clamp(self.base.sample(rng, now_ns) * self.multiplier)
@@ -191,6 +223,7 @@ class PeriodicInjectedDelay(LatencyModel):
         self.base = base
         self.phases: Tuple[int, ...] = tuple(int(p) for p in phases)
         self.phase_ns = int(phase_ns)
+        self.buffer_friendly = base.buffer_friendly
 
     def extra_at(self, now_ns: int) -> int:
         """The injected delay in force at true time ``now_ns``."""
@@ -224,6 +257,10 @@ class CompositeLatency(LatencyModel):
                 variable.append(component)
         self._variable: List[LatencyModel] = variable
         self._single = variable[0] if len(variable) == 1 else None
+        # A sum draws one signature iff at most one term draws at all.
+        self.buffer_friendly = (
+            not variable or (len(variable) == 1 and variable[0].buffer_friendly)
+        )
 
     def sample(self, rng: np.random.Generator, now_ns: int) -> int:
         single = self._single

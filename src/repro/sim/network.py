@@ -25,7 +25,7 @@ from repro.sim.clock import HostClock
 from repro.sim.cpu import CpuAccountant
 from repro.sim.engine import Actor, Simulator
 from repro.sim.latency import LatencyModel
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import BufferedStream, RngRegistry
 
 
 class Message:
@@ -142,7 +142,12 @@ class Link:
         self.dst = dst
         self.latency = latency
         self.fifo = fifo
-        self.rng = rngs.stream(f"link:{src.name}->{dst.name}")
+        # Models that draw a single fixed-signature stream get the
+        # chunked fast layer; it is bit-for-bit identical to scalar
+        # draws (see BufferedStream), so the sampled delay sequence is
+        # the same either way.
+        raw_rng = rngs.stream(f"link:{src.name}->{dst.name}")
+        self.rng = BufferedStream(raw_rng) if latency.buffer_friendly else raw_rng
         self._last_arrival: int = -1
         self.messages_sent: int = 0
         self.total_delay_ns: int = 0
@@ -158,6 +163,7 @@ class Link:
         # an allocation; endpoints never change after construction).
         self._deliver = dst.deliver
         self._sample = latency.sample
+        self._schedule_message = sim.schedule_message
         self._src_name = src.name
         self._dst_name = dst.name
 
@@ -230,7 +236,7 @@ class Link:
         self._last_arrival = arrival
         self.messages_sent += 1
         self.total_delay_ns += arrival - now
-        self.sim.schedule_at(arrival, self._deliver, message)
+        self._schedule_message(arrival, self._deliver, message)
         return message
 
     def mean_delay_us(self) -> float:

@@ -1,0 +1,267 @@
+"""The sweep harness: spec expansion, pool, cache, and determinism.
+
+The flagship property lives in ``TestJobsInvariance``: a sweep's
+aggregated JSON is byte-identical whether it ran inline, on four
+workers, or from the cache -- worker count and cache state must be
+unobservable in results.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exp import ResultCache, SweepSpec, code_version_hash, run_parallel, run_sweep
+from repro.exp.runner import sweep_table
+from repro.sim.rng import derive_seed
+
+# ----------------------------------------------------------------------
+# Spec expansion
+# ----------------------------------------------------------------------
+
+
+def _tiny_grid():
+    return [{"n_shards": 1}, {"n_shards": 2}]
+
+
+def _tiny_spec(**kwargs):
+    defaults = dict(
+        name="tiny",
+        grid=_tiny_grid(),
+        seeds=3,
+        master_seed=5,
+        warmup_s=0.05,
+        duration_s=0.1,
+        rate_per_participant=100.0,
+        base=dict(n_participants=4, n_gateways=2, n_symbols=4,
+                  subscriptions_per_participant=2),
+    )
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class TestSweepSpec:
+    def test_expansion_shape_and_order(self):
+        tasks = _tiny_spec().expand()
+        assert len(tasks) == 6  # 2 points x 3 seeds, grid-major
+        assert [t.point["n_shards"] for t in tasks] == [1, 1, 1, 2, 2, 2]
+        assert [t.index for t in tasks] == list(range(6))
+
+    def test_derived_seeds_depend_on_identity_not_position(self):
+        tasks = _tiny_spec().expand()
+        # Reversing the grid must not change any point's seeds.
+        reversed_tasks = _tiny_spec(grid=list(reversed(_tiny_grid()))).expand()
+        seeds_by_point = {t.point["n_shards"]: t.seed for t in tasks if t.key.endswith("rep0")}
+        seeds_reversed = {
+            t.point["n_shards"]: t.seed for t in reversed_tasks if t.key.endswith("rep0")
+        }
+        assert seeds_by_point == seeds_reversed
+        # And they are exactly the documented derivation.
+        for task in tasks:
+            assert task.seed == derive_seed(5, task.key)
+
+    def test_replicates_get_distinct_seeds(self):
+        tasks = _tiny_spec().expand()
+        assert len({t.seed for t in tasks}) == len(tasks)
+
+    def test_explicit_seed_list_used_verbatim(self):
+        tasks = _tiny_spec(seeds=[2021, 7]).expand()
+        assert [t.seed for t in tasks] == [2021, 7, 2021, 7]
+        assert all(t.overrides["seed"] == t.seed for t in tasks)
+
+    def test_reserved_keys_override_spec_defaults(self):
+        spec = _tiny_spec(grid=[{"n_shards": 1, "rate_per_participant": 250.0,
+                                 "warmup_s": 0.2}])
+        task = spec.expand()[0]
+        assert task.rate_per_participant == 250.0
+        assert task.warmup_s == 0.2
+        assert task.duration_s == 0.1  # spec default kept
+        assert "rate_per_participant" not in task.overrides
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not a CloudExConfig field"):
+            _tiny_spec(grid=[{"n_shardz": 1}]).expand()
+
+    def test_seed_override_rejected(self):
+        with pytest.raises(ValueError, match="SweepSpec.seeds"):
+            _tiny_spec(grid=[{"seed": 3}]).expand()
+
+    def test_chaos_rejected(self):
+        from repro.chaos.schedule import FaultSchedule
+
+        with pytest.raises(ValueError, match="chaos"):
+            _tiny_spec(base=dict(chaos=FaultSchedule())).expand()
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            _tiny_spec(grid=[]).expand()
+
+    def test_task_config_builds_and_validates(self):
+        task = _tiny_spec().expand()[0]
+        config = task.build_config()
+        assert config.seed == task.seed
+        assert config.n_shards == 1
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd input {x}")
+    return x
+
+
+def _crash_on_two(x):
+    if x == 2:
+        os._exit(13)  # simulate a segfault/OOM kill: no exception, no result
+    return x
+
+
+def _sleep_forever(x):
+    time.sleep(60)
+    return x
+
+
+class TestRunParallel:
+    @pytest.mark.parametrize("jobs", [1, 3])
+    def test_results_align_with_items(self, jobs):
+        results = run_parallel(_square, [3, 1, 4, 1, 5], jobs=jobs)
+        assert [r.value for r in results] == [9, 1, 16, 1, 25]
+        assert all(r.ok for r in results)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exceptions_reported_not_raised(self, jobs):
+        results = run_parallel(_fail_on_odd, [2, 3, 4], jobs=jobs, retries=0)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "odd input 3" in results[1].error
+
+    def test_worker_crash_is_retried_then_reported(self):
+        results = run_parallel(_crash_on_two, [1, 2, 3], jobs=2, retries=1)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].attempts == 2  # re-queued once, then reported
+        assert "crash" in results[1].error
+
+    def test_crash_does_not_sink_other_tasks(self):
+        results = run_parallel(_crash_on_two, list(range(8)), jobs=3, retries=0)
+        assert sum(r.ok for r in results) == 7
+        assert not results[2].ok
+
+    def test_timeout_terminates_and_reports(self):
+        results = run_parallel(
+            _sleep_forever, [0], jobs=2, timeout_s=0.3, retries=0
+        )
+        assert not results[0].ok
+        assert results[0].timed_out
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_parallel(_square, [1], jobs=0)
+        with pytest.raises(ValueError):
+            run_parallel(_square, [1], retries=-1)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        key = cache.key_for({"a": 1}, "codev")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 2.5})
+        assert cache.get(key) == {"x": 2.5}
+
+    def test_key_covers_payload_and_code_version(self):
+        cache = ResultCache()
+        base = cache.key_for({"a": 1}, "v1")
+        assert cache.key_for({"a": 2}, "v1") != base
+        assert cache.key_for({"a": 1}, "v2") != base
+        assert cache.key_for({"a": 1}, "v1") == base
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for({"a": 1}, "v")
+        cache.put(key, {"ok": 1})
+        (tmp_path / f"{key}.json").write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.get(key) is None  # removed, stays a miss
+
+    def test_code_version_is_stable_within_process(self):
+        assert code_version_hash() == code_version_hash()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the jobs-invariance and caching contracts
+# ----------------------------------------------------------------------
+
+
+def _doc_bytes(outcome):
+    return json.dumps(outcome.document, indent=2, sort_keys=True)
+
+
+class TestJobsInvariance:
+    def test_jobs_1_vs_4_byte_identical_and_cache_executes_zero(self, tmp_path):
+        spec = _tiny_spec()  # 2 points x 3 seeds
+        serial = run_sweep(spec, jobs=1, cache_dir=str(tmp_path / "cache1"))
+        parallel = run_sweep(spec, jobs=4, cache_dir=str(tmp_path / "cache2"))
+        assert serial.executed == 6 and parallel.executed == 6
+        assert serial.ok and parallel.ok
+        assert _doc_bytes(serial) == _doc_bytes(parallel)
+
+        # A cached re-run executes zero tasks and returns the same doc.
+        cached = run_sweep(spec, jobs=4, cache_dir=str(tmp_path / "cache1"))
+        assert cached.executed == 0
+        assert cached.from_cache == 6
+        assert _doc_bytes(cached) == _doc_bytes(serial)
+
+    def test_no_cache_skips_read_and_write(self, tmp_path):
+        spec = _tiny_spec(grid=[{"n_shards": 1}], seeds=1)
+        cache_dir = tmp_path / "cache"
+        first = run_sweep(spec, jobs=1, cache_dir=str(cache_dir))
+        assert first.executed == 1
+        uncached = run_sweep(spec, jobs=1, use_cache=False, cache_dir=str(cache_dir))
+        assert uncached.executed == 1  # ignored the warm cache
+        assert _doc_bytes(uncached) == _doc_bytes(first)
+
+    def test_document_excludes_execution_details(self, tmp_path):
+        outcome = run_sweep(
+            _tiny_spec(grid=[{"n_shards": 1}], seeds=1),
+            jobs=1,
+            cache_dir=str(tmp_path),
+        )
+        text = _doc_bytes(outcome)
+        assert "wall" not in text
+        assert outcome.wall_s > 0
+
+    def test_failed_point_reported_without_sinking_sweep(self, tmp_path):
+        # duration 0 still runs; an invalid topology fails validation
+        # inside the worker.  gateway_failover without ack timeouts is
+        # rejected by CloudExConfig.validate -- at task-build time in
+        # the worker, not at expansion time.
+        spec = _tiny_spec(
+            grid=[{"n_shards": 1}, {"gateway_failover": True}],
+            seeds=1,
+        )
+        outcome = run_sweep(spec, jobs=1, use_cache=False, retries=0)
+        assert not outcome.ok
+        assert len(outcome.failures) == 1
+        entries = outcome.document["points"]
+        assert [e["failed"] for e in entries] == [False, True]
+        assert entries[1]["result"] is None
+
+    def test_sweep_table_renders_failures_and_values(self, tmp_path):
+        spec = _tiny_spec(grid=[{"n_shards": 1}], seeds=1)
+        outcome = run_sweep(spec, jobs=1, cache_dir=str(tmp_path))
+        table = sweep_table(outcome.document, columns=("throughput_per_s",))
+        assert "n_shards" in table and "seed" in table
+        assert "throughput_per_s" in table

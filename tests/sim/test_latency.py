@@ -50,6 +50,19 @@ class TestUniform:
         with pytest.raises(ValueError):
             UniformLatency(20, 10)
 
+    def test_sub_floor_bounds_respected(self, rng):
+        # Regression: UniformLatency(0, 500) used to clamp every draw
+        # up to the global 1_000 ns floor, silently exceeding hi_ns.
+        samples = draws(UniformLatency(0, 500), rng)
+        assert samples.min() >= 0
+        assert samples.max() <= 500
+        assert len(set(samples.tolist())) > 1  # actually varies
+
+    def test_default_floor_still_applies_above_it(self, rng):
+        # A range above the floor keeps the default floor untouched.
+        model = UniformLatency(10_000, 20_000)
+        assert model.floor_ns == 1_000
+
 
 class TestLognormal:
     def test_median_is_calibrated(self, rng):

@@ -109,6 +109,41 @@ class TestMain:
         assert "smoke" in out
         assert "gateway-crash-rf2-failover" in out
 
+    def test_sweep_subcommand_writes_deterministic_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # keep .repro-cache out of the repo
+        out_path = tmp_path / "sweep.json"
+        argv = [
+            "sweep",
+            "--grid", "n_shards=1,2",
+            "--set", "n_participants=4",
+            "--set", "n_gateways=2",
+            "--set", "n_symbols=4",
+            "--set", "subscriptions_per_participant=2",
+            "--seeds", "1",
+            "--warmup", "0.05",
+            "--duration", "0.1",
+            "--rate", "100",
+            "--json", str(out_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "n_shards" in out and "throughput_per_s" in out
+        document = json.loads(out_path.read_text())
+        assert document["sweep"] == "sweep"
+        assert len(document["points"]) == 2
+        assert all(not entry["failed"] for entry in document["points"])
+
+        # Cached re-run at a different job count: byte-identical JSON.
+        rerun_path = tmp_path / "sweep2.json"
+        argv2 = [a if a != str(out_path) else str(rerun_path) for a in argv]
+        argv2 += ["--jobs", "2"]
+        assert main(argv2) == 0
+        assert rerun_path.read_bytes() == out_path.read_bytes()
+
+    def test_sweep_requires_a_grid(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
     def test_batch_mode_runs(self, capsys):
         code = main(
             [
