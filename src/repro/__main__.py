@@ -22,6 +22,18 @@ writes (or, with ``--check``, compares against) the persistent
 ``python -m repro sweep`` runs a (config x seed) experiment grid over
 a parallel worker pool with deterministic aggregation and on-disk
 result caching; see ``python -m repro sweep --help``.
+
+``python -m repro serve`` runs the exchange-as-a-service control
+plane: an authenticated HTTP API that accepts sweep/chaos/bench job
+submissions, executes them on the experiment pool, and serves signed
+evidence packs; see ``python -m repro serve --help``.
+
+``python -m repro verify-pack`` verifies a downloaded evidence pack
+offline; see ``python -m repro verify-pack --help``.
+
+All subcommands share the exit-code convention in :mod:`repro.cliutil`
+(0 = clean, 1 = the run surfaced failures, 2 = usage error) and emit
+``--json`` documents in the same canonical shape.
 """
 
 from __future__ import annotations
@@ -30,8 +42,13 @@ import argparse
 import sys
 
 from repro.analysis.report import summarize_run
+from repro.cliutil import EXIT_OK, emit_json
 from repro.core.cluster import CloudExCluster
 from repro.core.config import CloudExConfig
+
+#: Every subcommand, in help order.  ``python -m repro --help`` lists
+#: exactly these; the CLI test suite pins the list.
+SUBCOMMANDS = ("trace", "chaos", "bench", "sweep", "serve", "verify-pack")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,14 +57,18 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a simulated CloudEx fair-access exchange and print a report.",
         epilog=(
             "subcommands:\n"
-            "  trace   run with per-order lifecycle tracing and print the\n"
-            "          latency/clock/ROS breakdown tables\n"
-            "  chaos   run a deterministic fault-injection scenario and\n"
-            "          print the invariant-checked chaos report\n"
-            "  bench   run the micro/macro performance suites and write or\n"
-            "          check the BENCH_*.json baselines\n"
-            "  sweep   run a (config x seed) experiment grid over a parallel\n"
-            "          worker pool with caching and deterministic output\n"
+            "  trace        run with per-order lifecycle tracing and print the\n"
+            "               latency/clock/ROS breakdown tables\n"
+            "  chaos        run a deterministic fault-injection scenario and\n"
+            "               print the invariant-checked chaos report\n"
+            "  bench        run the micro/macro performance suites and write or\n"
+            "               check the BENCH_*.json baselines\n"
+            "  sweep        run a (config x seed) experiment grid over a parallel\n"
+            "               worker pool with caching and deterministic output\n"
+            "  serve        run the exchange-as-a-service HTTP control plane:\n"
+            "               submit sweep/chaos/bench jobs, download signed\n"
+            "               evidence packs\n"
+            "  verify-pack  verify a downloaded evidence pack offline\n"
             "\n"
             "see `python -m repro <subcommand> --help` for their options"
         ),
@@ -106,6 +127,14 @@ def build_trace_parser() -> argparse.ArgumentParser:
         choices=["huygens", "ntp", "none", "perfect"],
         default="huygens",
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="also write a deterministic trace-summary document as JSON (no PATH = stdout)",
+    )
     return parser
 
 
@@ -152,7 +181,22 @@ def trace_main(argv=None) -> int:
         print(f"\nevent log: {summary} (dropped={cluster.events.dropped})")
     tracer.dump_jsonl(args.out)
     print(f"\nwrote {len(traces)} traces to {args.out}")
-    return 0
+    if args.json is not None:
+        spans_by_kind: dict = {}
+        for trace in traces:
+            for span in trace.spans:
+                spans_by_kind[span.kind] = spans_by_kind.get(span.kind, 0) + 1
+        emit_json(
+            {
+                "trace": {"seed": args.seed, "duration_s": args.duration},
+                "traces": len(traces),
+                "completed": len(completed),
+                "spans_by_kind": spans_by_kind,
+                "counters": cluster.counters.snapshot(),
+            },
+            args.json,
+        )
+    return EXIT_OK
 
 
 def build_chaos_parser() -> argparse.ArgumentParser:
@@ -178,7 +222,14 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--list", action="store_true", help="list scenarios and exit")
-    parser.add_argument("--json", action="store_true", help="print the report as JSON")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the report as JSON instead of text (no PATH = stdout)",
+    )
     parser.add_argument(
         "--strict",
         action="store_true",
@@ -189,35 +240,48 @@ def build_chaos_parser() -> argparse.ArgumentParser:
 
 def chaos_main(argv=None) -> int:
     from repro.chaos import available_scenarios, run_scenario
+    from repro.cliutil import EXIT_FAILURE
 
     args = build_chaos_parser().parse_args(argv)
     if args.list:
         for name, description in available_scenarios():
             print(f"{name:28s}{description}")
-        return 0
+        return EXIT_OK
     result = run_scenario(args.scenario, seed=args.seed)
     report = result.report
-    print(report.to_json() if args.json else report.as_text())
+    if args.json is not None:
+        emit_json(report.to_dict(), args.json)
+    else:
+        print(report.as_text())
     if args.strict and not report.ok:
-        return 1
-    return 0
+        return EXIT_FAILURE
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
-    if argv and argv[0] == "chaos":
-        return chaos_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from repro.perf.bench import bench_main
+    if argv and argv[0] in SUBCOMMANDS:
+        name, rest = argv[0], argv[1:]
+        if name == "trace":
+            return trace_main(rest)
+        if name == "chaos":
+            return chaos_main(rest)
+        if name == "bench":
+            from repro.perf.bench import bench_main
 
-        return bench_main(argv[1:])
-    if argv and argv[0] == "sweep":
-        from repro.exp.cli import sweep_main
+            return bench_main(rest)
+        if name == "sweep":
+            from repro.exp.cli import sweep_main
 
-        return sweep_main(argv[1:])
+            return sweep_main(rest)
+        if name == "serve":
+            from repro.serve.cli import serve_main
+
+            return serve_main(rest)
+        from repro.serve.cli import verify_pack_main
+
+        return verify_pack_main(rest)
     args = build_parser().parse_args(argv)
     config = CloudExConfig(
         seed=args.seed,
@@ -239,7 +303,7 @@ def main(argv=None) -> int:
     cluster.add_default_workload()
     cluster.run(duration_s=args.duration)
     print(summarize_run(cluster))
-    return 0
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -265,8 +265,15 @@ def available_scenarios() -> List[Tuple[str, str]]:
     )
 
 
-def run_scenario(name: str, seed: int = 11) -> ChaosRunResult:
-    """Build, fault, run, and check one scenario deterministically."""
+def run_scenario(name: str, seed: int = 11, tracing: bool = False) -> ChaosRunResult:
+    """Build, fault, run, and check one scenario deterministically.
+
+    ``tracing=True`` additionally records per-order lifecycle traces
+    (``result.cluster.tracer``) for evidence packs.  Trace sampling is
+    seed-independent and touches no RNG stream, so the report -- stats,
+    findings, counters -- is byte-identical with tracing on or off
+    (pinned by the serve test suite).
+    """
     try:
         spec = _SCENARIOS[name]()
     except KeyError:
@@ -275,7 +282,7 @@ def run_scenario(name: str, seed: int = 11) -> ChaosRunResult:
     from repro.core.cluster import CloudExCluster
     from repro.core.config import CloudExConfig
 
-    config = CloudExConfig(seed=seed, chaos=spec.schedule, **spec.config)
+    config = CloudExConfig(seed=seed, chaos=spec.schedule, tracing=tracing, **spec.config)
     cluster = CloudExCluster(config)
     monitor = ChaosMonitor(cluster)
     for index, participant in enumerate(cluster.participants):

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Dict
+import threading
+import time
+from typing import Callable, Dict
 
 
 class AuthRegistry:
@@ -55,3 +57,57 @@ class AuthRegistry:
 
     def __repr__(self) -> str:
         return f"AuthRegistry(participants={len(self._tokens)})"
+
+
+class RateLimiter:
+    """Per-client token-bucket rate limiting.
+
+    Each client gets an independent bucket holding up to ``burst``
+    tokens that refills at ``rate_per_s``; :meth:`allow` spends one
+    token or reports the caller should be throttled.  Used by the
+    ``repro.serve`` control plane to bound per-client request rates,
+    and injectable with a fake clock for deterministic tests.
+
+    Thread-safe: the serve API handles requests on a thread per
+    connection.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._clock = clock
+        self._buckets: Dict[str, list] = {}  # client -> [tokens, last_refill]
+        self._lock = threading.Lock()
+
+    def allow(self, client_id: str) -> bool:
+        """Spend one token from ``client_id``'s bucket if it has one."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = [float(self.burst), now]
+                self._buckets[client_id] = bucket
+            tokens, last = bucket
+            tokens = min(float(self.burst), tokens + (now - last) * self.rate_per_s)
+            if tokens >= 1.0:
+                bucket[0] = tokens - 1.0
+                bucket[1] = now
+                return True
+            bucket[0] = tokens
+            bucket[1] = now
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"RateLimiter(rate_per_s={self.rate_per_s}, burst={self.burst}, "
+            f"clients={len(self._buckets)})"
+        )

@@ -9,7 +9,10 @@ older build of the simulator -- while re-running an unchanged sweep
 executes zero tasks.
 
 Entries are one JSON file each under ``.repro-cache/`` (configurable),
-safe to delete wholesale at any time.
+safe to delete wholesale at any time.  The directory is size-bounded:
+:meth:`ResultCache.put` periodically prunes the oldest entries (by
+mtime) once the directory exceeds ``max_bytes``, so long-lived sweep
+and serve hosts never grow an unbounded cache.
 """
 
 from __future__ import annotations
@@ -21,6 +24,15 @@ from pathlib import Path
 from typing import Dict, Optional
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default size budget for a cache directory (512 MiB).  A cache entry
+#: is a few KiB of aggregated metrics, so the default keeps ~10^5
+#: results -- bounded, not stingy.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Prune on every Nth put: a directory scan is O(entries), so pruning
+#: per-put would make a large sweep quadratic in its own cache.
+PRUNE_EVERY = 64
 
 _code_version: Optional[str] = None
 
@@ -49,24 +61,44 @@ def code_version_hash() -> str:
     return _code_version
 
 
+def content_key(payload: Dict[str, object], code_version: Optional[str] = None) -> str:
+    """Content-addressed key for a JSON-able payload + simulator build.
+
+    BLAKE2 over the canonical payload JSON and the source-tree hash --
+    the same keying the sweep cache uses, exposed at module level so
+    other subsystems (the ``repro.serve`` run store) can derive
+    provenance identifiers without owning a cache directory.
+    """
+    if code_version is None:
+        code_version = code_version_hash()
+    blob = json.dumps(
+        {"payload": payload, "code": code_version},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+
+
 class ResultCache:
     """One-file-per-result cache with content-hashed keys."""
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evicted = 0
+        self._puts = 0
 
     def key_for(self, payload: Dict[str, object], code_version: Optional[str] = None) -> str:
         """The cache key for a task payload (see module docstring)."""
-        if code_version is None:
-            code_version = code_version_hash()
-        blob = json.dumps(
-            {"payload": payload, "code": code_version},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.blake2b(blob.encode("utf-8"), digest_size=16).hexdigest()
+        return content_key(payload, code_version)
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -93,12 +125,55 @@ class ResultCache:
         return result
 
     def put(self, key: str, result: Dict[str, object]) -> None:
-        """Store a result atomically (rename over a temp file)."""
+        """Store a result atomically (rename over a temp file).
+
+        Every :data:`PRUNE_EVERY`-th put (including the first, which
+        catches a directory left oversized by an earlier process)
+        triggers :meth:`prune` to keep the directory under
+        ``max_bytes``.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(result, sort_keys=True))
         os.replace(tmp, path)
+        self._puts += 1
+        if self._puts % PRUNE_EVERY == 1:
+            self.prune()
+
+    def prune(self, max_bytes: Optional[int] = None) -> int:
+        """Evict oldest entries (by mtime, then name) until the
+        directory fits ``max_bytes``.  The newest entry always
+        survives, even if it alone exceeds the budget -- evicting the
+        result that was just computed would make the cache useless.
+        Returns the number of entries evicted.
+        """
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        entries = []
+        total = 0
+        for path in self.root.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # raced with another pruner
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        entries.sort()
+        evicted = 0
+        for _, _, path, size in entries[:-1]:  # newest always survives
+            if total <= budget:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evicted += evicted
+        return evicted
 
     def __repr__(self) -> str:
-        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses}, evicted={self.evicted})"
+        )

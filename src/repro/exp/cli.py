@@ -24,7 +24,8 @@ import json
 import sys
 from typing import Dict, List, Tuple
 
-from repro.exp.cache import DEFAULT_CACHE_DIR
+from repro.cliutil import EXIT_FAILURE, EXIT_OK, EXIT_USAGE, emit_json
+from repro.exp.cache import DEFAULT_CACHE_DIR, DEFAULT_MAX_BYTES
 from repro.exp.runner import run_sweep, sweep_table
 from repro.exp.spec import SweepSpec
 
@@ -111,6 +112,13 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true", help="ignore and don't write .repro-cache/")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     parser.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=DEFAULT_MAX_BYTES // (1024 * 1024),
+        metavar="MB",
+        help="size bound for the result cache; oldest entries are evicted (default 512)",
+    )
+    parser.add_argument(
         "--columns",
         default="throughput_per_s,submission_p50_us,submission_p99_us",
         help="result-payload keys shown in the printed table",
@@ -122,7 +130,7 @@ def sweep_main(argv=None) -> int:
     args = build_sweep_parser().parse_args(argv)
     if not args.grid:
         print("error: at least one --grid axis is required", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     axes = [_parse_axis(spec) for spec in args.grid]
     grid: List[Dict[str, object]] = [
@@ -150,6 +158,7 @@ def sweep_main(argv=None) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_mb * 1024 * 1024,
         timeout_s=args.timeout,
         retries=args.retries,
     )
@@ -166,11 +175,7 @@ def sweep_main(argv=None) -> int:
         print(f"\nFAILED {key}\n{error}", file=sys.stderr)
 
     if args.json is not None:
-        text = json.dumps(outcome.document, indent=2, sort_keys=True) + "\n"
-        if args.json == "-":
-            sys.stdout.write(text)
-        else:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(text)
+        emit_json(outcome.document, args.json)
+        if args.json != "-":
             print(f"wrote {args.json}", file=sys.stderr)
-    return 0 if outcome.ok else 1
+    return EXIT_OK if outcome.ok else EXIT_FAILURE

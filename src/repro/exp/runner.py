@@ -16,7 +16,12 @@ from time import monotonic
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
-from repro.exp.cache import DEFAULT_CACHE_DIR, ResultCache, code_version_hash
+from repro.exp.cache import (
+    DEFAULT_CACHE_DIR,
+    DEFAULT_MAX_BYTES,
+    ResultCache,
+    code_version_hash,
+)
 from repro.exp.pool import run_parallel
 from repro.exp.spec import SweepSpec, SweepTask
 
@@ -65,12 +70,13 @@ def run_sweep(
     jobs: int = 1,
     use_cache: bool = True,
     cache_dir: str = DEFAULT_CACHE_DIR,
+    cache_max_bytes: int = DEFAULT_MAX_BYTES,
     timeout_s: Optional[float] = None,
     retries: int = 1,
 ) -> SweepOutcome:
     """Expand ``spec``, run what the cache can't answer, aggregate."""
     tasks = spec.expand()
-    cache = ResultCache(cache_dir) if use_cache else None
+    cache = ResultCache(cache_dir, max_bytes=cache_max_bytes) if use_cache else None
     code = code_version_hash() if use_cache else None
     start = monotonic()
 

@@ -52,6 +52,8 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.cliutil import EXIT_FAILURE, EXIT_OK
+
 MICRO_BASELINE = "BENCH_micro.json"
 MACRO_BASELINE = "BENCH_macro.json"
 DEFAULT_TOLERANCE = 0.25
@@ -532,6 +534,17 @@ def build_bench_parser() -> argparse.ArgumentParser:
             "the committed baselines and --check assume"
         ),
     )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help=(
+            "also emit the combined suite document as JSON in the shared "
+            "--json shape (no PATH = stdout)"
+        ),
+    )
     return parser
 
 
@@ -580,9 +593,20 @@ def bench_main(argv=None) -> int:
             out_dir.mkdir(parents=True, exist_ok=True)
             path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
             print(f"  wrote {path}")
+    if args.json is not None:
+        from repro.cliutil import emit_json
+
+        emit_json(
+            {
+                "bench": args.suite,
+                "quick": args.quick,
+                "suites": {doc["suite"]: doc for _, doc in suites},
+            },
+            args.json,
+        )
     if failures:
         print("\nBENCH CHECK FAILED:")
         for failure in failures:
             print(f"  - {failure}")
-        return 1
-    return 0
+        return EXIT_FAILURE
+    return EXIT_OK

@@ -1,0 +1,240 @@
+"""Evidence packs: writing and offline verification.
+
+A completed run's pack is one directory:
+
+========================  ============================================
+``report.json``           the run's deterministic document -- byte-
+                          identical to the same spec run directly via
+                          ``python -m repro sweep``/``chaos``
+``trace.jsonl``           per-order lifecycle traces from
+                          :mod:`repro.obs` (chaos runs; empty for jobs
+                          with no per-order tracing)
+``certificate.json``      *clean runs only*: signed attestation (see
+                          :mod:`repro.serve.certificate`)
+``triage.json``           *unclean runs only*: the violations/failures
+``manifest.json``         the index: schema, run identity, provenance,
+                          and a BLAKE2 digest + size for every other
+                          artifact.  Written last.
+========================  ============================================
+
+:func:`verify_pack` re-derives everything re-derivable offline: every
+manifest hash against the bytes on disk, exactly-one-of
+certificate/triage, certificate/triage consistency with the manifest,
+and (given the operator secret) the certificate signature.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.serve.certificate import (
+    TRIAGE_SCHEMA,
+    build_triage,
+    issue_certificate,
+    verify_certificate,
+)
+
+MANIFEST_SCHEMA = "repro-evidence-pack/1"
+VERIFICATION_SCHEMA = "repro-pack-verification/1"
+
+REPORT = "report.json"
+TRACE = "trace.jsonl"
+CERTIFICATE = "certificate.json"
+TRIAGE = "triage.json"
+MANIFEST = "manifest.json"
+
+
+def artifact_digest(data: bytes) -> Dict[str, object]:
+    """The manifest entry for one artifact's bytes."""
+    return {
+        "blake2b": hashlib.blake2b(data, digest_size=16).hexdigest(),
+        "bytes": len(data),
+    }
+
+
+def write_pack(
+    pack_dir,
+    run_id: str,
+    kind: str,
+    spec: Dict[str, object],
+    code_version: str,
+    report: bytes,
+    trace: bytes,
+    clean: bool,
+    violations: List[Dict[str, object]],
+    secret: str,
+) -> Dict[str, object]:
+    """Write a complete evidence pack; returns the manifest document.
+
+    ``clean`` decides certificate vs. triage; ``violations`` feeds the
+    triage report (and must be empty when ``clean``).
+    """
+    if clean and violations:
+        raise ValueError("a clean run cannot carry violations")
+    pack = Path(pack_dir)
+    pack.mkdir(parents=True, exist_ok=True)
+
+    artifacts: Dict[str, bytes] = {REPORT: report, TRACE: trace}
+    digests = {name: artifact_digest(data) for name, data in artifacts.items()}
+
+    if clean:
+        verdict_name = CERTIFICATE
+        verdict_doc = issue_certificate(run_id, kind, spec, code_version, digests, secret)
+    else:
+        verdict_name = TRIAGE
+        verdict_doc = build_triage(run_id, kind, spec, code_version, violations)
+    verdict_bytes = (json.dumps(verdict_doc, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    artifacts[verdict_name] = verdict_bytes
+    digests[verdict_name] = artifact_digest(verdict_bytes)
+
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run_id,
+        "kind": kind,
+        "spec": spec,
+        "code_version": code_version,
+        "certified": clean,
+        "artifacts": digests,
+    }
+    for name, data in artifacts.items():
+        (pack / name).write_bytes(data)
+    (pack / MANIFEST).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return manifest
+
+
+def verify_pack(pack_dir, secret: Optional[str] = None) -> Dict[str, object]:
+    """Offline pack verification; returns the verification document.
+
+    ``{"ok": bool, "checks": [...], "problems": [...], ...}`` -- ``ok``
+    iff no problems.  Passing the operator ``secret`` additionally
+    verifies the certificate signature; without it the signature is
+    explicitly reported as unchecked, never silently passed.
+    """
+    pack = Path(pack_dir)
+    checks: List[str] = []
+    problems: List[str] = []
+    certified: Optional[bool] = None
+
+    def done() -> Dict[str, object]:
+        return {
+            "schema": VERIFICATION_SCHEMA,
+            "pack": str(pack),
+            "ok": not problems,
+            "certified": certified,
+            "checks": checks,
+            "problems": problems,
+        }
+
+    manifest_path = pack / MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except OSError:
+        problems.append(f"missing or unreadable {MANIFEST} in {pack}")
+        return done()
+    except ValueError as exc:
+        problems.append(f"{MANIFEST} is not valid JSON: {exc}")
+        return done()
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        problems.append(
+            f"manifest schema is {manifest.get('schema')!r}, expected {MANIFEST_SCHEMA!r}"
+        )
+        return done()
+    checks.append("manifest parses and has the expected schema")
+    certified = bool(manifest.get("certified"))
+
+    listed: Dict[str, Dict[str, object]] = manifest.get("artifacts", {})
+    if REPORT not in listed or TRACE not in listed:
+        problems.append(f"manifest must list {REPORT} and {TRACE}")
+    problems_before_digests = len(problems)
+    for name, entry in sorted(listed.items()):
+        path = pack / Path(name).name  # no traversal: artifact names are flat
+        try:
+            data = path.read_bytes()
+        except OSError:
+            problems.append(f"artifact {name} is listed in the manifest but missing")
+            continue
+        actual = artifact_digest(data)
+        if actual != entry:
+            problems.append(
+                f"artifact {name} does not match its manifest digest "
+                f"(expected {entry}, got {actual})"
+            )
+    if len(problems) == problems_before_digests:
+        checks.append(f"{len(listed)} artifact digest(s) match the bytes on disk")
+
+    extras = sorted(
+        p.name
+        for p in pack.iterdir()
+        if p.is_file() and p.name != MANIFEST and p.name not in listed
+    )
+    if extras:
+        problems.append(f"unlisted file(s) in pack: {', '.join(extras)}")
+
+    has_cert = CERTIFICATE in listed
+    has_triage = TRIAGE in listed
+    if has_cert == has_triage:
+        problems.append(
+            f"a pack must contain exactly one of {CERTIFICATE} / {TRIAGE} "
+            f"(found {'both' if has_cert else 'neither'})"
+        )
+        return done()
+
+    if has_cert:
+        if not certified:
+            problems.append("manifest says certified=false but a certificate is present")
+        try:
+            certificate = json.loads((pack / CERTIFICATE).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            problems.append(f"{CERTIFICATE} unreadable: {exc}")
+            return done()
+        problems.extend(verify_certificate(certificate, secret))
+        for field in ("run_id", "kind", "code_version"):
+            if certificate.get(field) != manifest.get(field):
+                problems.append(
+                    f"certificate {field} ({certificate.get(field)!r}) does not "
+                    f"match manifest ({manifest.get(field)!r})"
+                )
+        cert_artifacts = certificate.get("artifacts", {})
+        for name in (REPORT, TRACE):
+            if cert_artifacts.get(name) != listed.get(name):
+                problems.append(
+                    f"certificate binds a different {name} digest than the manifest"
+                )
+        if not problems:
+            checks.append("certificate is consistent with the manifest")
+            checks.append(
+                "certificate signature verifies with the operator secret"
+                if secret is not None
+                else "certificate signature NOT checked (no secret given)"
+            )
+    else:
+        if certified:
+            problems.append("manifest says certified=true but only a triage report is present")
+        try:
+            triage = json.loads((pack / TRIAGE).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            problems.append(f"{TRIAGE} unreadable: {exc}")
+            return done()
+        if triage.get("schema") != TRIAGE_SCHEMA:
+            problems.append(
+                f"triage schema is {triage.get('schema')!r}, expected {TRIAGE_SCHEMA!r}"
+            )
+        violations = triage.get("violations", [])
+        if triage.get("violation_count") != len(violations):
+            problems.append("triage violation_count does not match its violations list")
+        if not violations:
+            problems.append(
+                "triage report lists no violations -- a clean run should have "
+                "a certificate instead"
+            )
+        if not problems:
+            checks.append(
+                f"triage report is consistent ({len(violations)} violation(s), "
+                "no certificate claimed)"
+            )
+    return done()

@@ -1,0 +1,209 @@
+"""The JSON job schema for the serve control plane.
+
+A *job spec* is the one JSON document a client submits.  Every spec is
+normalized -- defaults applied, fields validated, unknown keys rejected
+-- before anything else happens, so two clients describing the same
+experiment in different field orders or with defaults spelled out
+produce the *same* canonical spec, the same content-addressed
+``run_id``, and therefore share one execution and one evidence pack.
+
+Supported kinds:
+
+``sweep``
+    A :class:`repro.exp.spec.SweepSpec` by value: ``grid`` (required,
+    list of override dicts), ``seeds`` (int or explicit list),
+    ``master_seed``, ``warmup_s``, ``duration_s``,
+    ``rate_per_participant``, ``base``, ``name``.  Field meanings are
+    exactly ``python -m repro sweep``'s.
+``chaos``
+    ``scenario`` (required, a name from the :mod:`repro.chaos` library)
+    and ``seed``.
+``bench``
+    ``suite`` (micro/macro/all), ``quick``, ``repeats``.
+
+The job identity is :func:`job_key`: BLAKE2 over the canonical
+normalized spec plus the simulator source-tree hash, reusing
+:func:`repro.exp.cache.content_key` -- so a run's identity pins both
+*what* was asked and *which build* answered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exp.cache import content_key
+
+SCHEMA = "repro-job/1"
+
+JOB_KINDS = ("sweep", "chaos", "bench")
+
+BENCH_SUITES = ("micro", "macro", "all")
+
+
+class JobError(ValueError):
+    """A job spec that failed validation (HTTP 400 at the API)."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise JobError(message)
+
+
+def _as_float(spec: Dict[str, object], key: str, default: float) -> float:
+    value = spec.get(key, default)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{key!r} must be a number")
+    return float(value)
+
+
+def _as_int(spec: Dict[str, object], key: str, default: int) -> int:
+    value = spec.get(key, default)
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{key!r} must be an integer")
+    return int(value)
+
+
+def _check_keys(spec: Dict[str, object], allowed: tuple, kind: str) -> None:
+    unknown = sorted(set(spec) - set(allowed) - {"kind", "schema"})
+    _require(not unknown, f"unknown field(s) for a {kind} job: {', '.join(unknown)}")
+
+
+def _normalize_sweep(spec: Dict[str, object]) -> Dict[str, object]:
+    _check_keys(
+        spec,
+        ("name", "grid", "seeds", "master_seed", "warmup_s", "duration_s",
+         "rate_per_participant", "base"),
+        "sweep",
+    )
+    grid = spec.get("grid")
+    _require(isinstance(grid, list) and grid, "'grid' must be a non-empty list of override dicts")
+    for index, point in enumerate(grid):
+        _require(isinstance(point, dict), f"grid point {index} must be an object")
+    name = spec.get("name", "sweep")
+    _require(isinstance(name, str) and name, "'name' must be a non-empty string")
+    seeds = spec.get("seeds", 1)
+    if isinstance(seeds, list):
+        _require(seeds and all(isinstance(s, int) and not isinstance(s, bool) for s in seeds),
+                 "'seeds' list must be non-empty integers")
+    else:
+        _require(isinstance(seeds, int) and not isinstance(seeds, bool) and seeds >= 1,
+                 "'seeds' must be an integer >= 1 or an explicit list")
+    base = spec.get("base", {})
+    _require(isinstance(base, dict), "'base' must be an object")
+    rate: Optional[float] = None
+    if spec.get("rate_per_participant") is not None:
+        rate = _as_float(spec, "rate_per_participant", 0.0)
+    normalized: Dict[str, object] = {
+        "kind": "sweep",
+        "name": name,
+        "grid": grid,
+        "seeds": seeds,
+        "master_seed": _as_int(spec, "master_seed", 0),
+        "warmup_s": _as_float(spec, "warmup_s", 0.5),
+        "duration_s": _as_float(spec, "duration_s", 1.0),
+        "rate_per_participant": rate,
+        "base": base,
+    }
+    # Expansion validates every override against CloudExConfig's fields
+    # and the reserved sweep keys -- bad field names are caught here, at
+    # submission, not minutes later in a worker.
+    try:
+        build_sweep_spec(normalized).expand()
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"invalid sweep spec: {exc}") from None
+    return normalized
+
+
+def _normalize_chaos(spec: Dict[str, object]) -> Dict[str, object]:
+    from repro.chaos import available_scenarios
+
+    _check_keys(spec, ("scenario", "seed"), "chaos")
+    scenario = spec.get("scenario")
+    known = [name for name, _ in available_scenarios()]
+    _require(isinstance(scenario, str) and scenario, "'scenario' is required")
+    _require(scenario in known,
+             f"unknown chaos scenario {scenario!r} (known: {', '.join(known)})")
+    return {
+        "kind": "chaos",
+        "scenario": scenario,
+        "seed": _as_int(spec, "seed", 11),
+    }
+
+
+def _normalize_bench(spec: Dict[str, object]) -> Dict[str, object]:
+    _check_keys(spec, ("suite", "quick", "repeats"), "bench")
+    suite = spec.get("suite", "all")
+    _require(suite in BENCH_SUITES, f"'suite' must be one of {BENCH_SUITES}")
+    quick = spec.get("quick", True)
+    _require(isinstance(quick, bool), "'quick' must be a boolean")
+    repeats = _as_int(spec, "repeats", 1)
+    _require(repeats >= 1, "'repeats' must be >= 1")
+    return {"kind": "bench", "suite": suite, "quick": quick, "repeats": repeats}
+
+
+_NORMALIZERS = {
+    "sweep": _normalize_sweep,
+    "chaos": _normalize_chaos,
+    "bench": _normalize_bench,
+}
+
+
+def normalize_job(raw: object) -> Dict[str, object]:
+    """Validate a submitted document into the canonical job spec.
+
+    Raises :class:`JobError` with a client-presentable message on any
+    problem; the result is a plain JSON-able dict with every default
+    made explicit.
+    """
+    _require(isinstance(raw, dict), "job spec must be a JSON object")
+    schema = raw.get("schema", SCHEMA)
+    _require(schema == SCHEMA, f"unsupported job schema {schema!r} (expected {SCHEMA!r})")
+    kind = raw.get("kind")
+    _require(kind in JOB_KINDS, f"'kind' must be one of {', '.join(JOB_KINDS)}")
+    normalized = _NORMALIZERS[kind](raw)
+    normalized["schema"] = SCHEMA
+    return normalized
+
+
+def job_key(spec: Dict[str, object], code_version: Optional[str] = None) -> str:
+    """Content-addressed run identity for a *normalized* job spec."""
+    return content_key({"job": spec}, code_version)
+
+
+def build_sweep_spec(spec: Dict[str, object]):
+    """Materialize a normalized sweep job as a :class:`SweepSpec`.
+
+    This is the single point where HTTP-submitted sweeps and
+    ``python -m repro sweep`` meet: both construct the same SweepSpec,
+    so the aggregated document -- and therefore the evidence pack's
+    ``report.json`` -- is byte-identical between the two front doors.
+    """
+    from repro.exp.spec import SweepSpec
+
+    seeds = spec["seeds"]
+    return SweepSpec(
+        name=spec["name"],
+        grid=list(spec["grid"]),
+        seeds=list(seeds) if isinstance(seeds, list) else int(seeds),
+        master_seed=int(spec["master_seed"]),
+        warmup_s=float(spec["warmup_s"]),
+        duration_s=float(spec["duration_s"]),
+        rate_per_participant=(
+            None if spec["rate_per_participant"] is None
+            else float(spec["rate_per_participant"])
+        ),
+        base=dict(spec["base"]),
+    )
+
+
+def describe(spec: Dict[str, object]) -> str:
+    """One-line human label for run listings."""
+    kind = spec["kind"]
+    if kind == "sweep":
+        points: List[dict] = spec["grid"]  # type: ignore[assignment]
+        seeds = spec["seeds"]
+        n_seeds = len(seeds) if isinstance(seeds, list) else seeds
+        return f"sweep {spec['name']}: {len(points)} point(s) x {n_seeds} seed(s)"
+    if kind == "chaos":
+        return f"chaos {spec['scenario']} (seed={spec['seed']})"
+    return f"bench {spec['suite']} ({'quick' if spec['quick'] else 'full'})"

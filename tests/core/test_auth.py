@@ -1,8 +1,8 @@
-"""Tests for gateway authentication."""
+"""Tests for gateway authentication and API rate limiting."""
 
 import pytest
 
-from repro.core.auth import AuthRegistry
+from repro.core.auth import AuthRegistry, RateLimiter
 
 
 class TestAuthRegistry:
@@ -51,3 +51,47 @@ class TestAuthRegistry:
         d = AuthRegistry.mint_token("p1", "other-secret")
         assert a == b
         assert a != c and a != d
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestRateLimiter:
+    def test_burst_then_throttle(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=1.0, burst=3, clock=clock)
+        assert [limiter.allow("c") for _ in range(4)] == [True, True, True, False]
+
+    def test_tokens_refill_at_rate(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=2.0, burst=2, clock=clock)
+        assert limiter.allow("c") and limiter.allow("c")
+        assert not limiter.allow("c")
+        clock.now += 0.5  # refills one token at 2/s
+        assert limiter.allow("c")
+        assert not limiter.allow("c")
+
+    def test_bucket_never_exceeds_burst(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=100.0, burst=2, clock=clock)
+        clock.now += 1000.0  # a long idle period must not bank tokens
+        results = [limiter.allow("c") for _ in range(3)]
+        assert results == [True, True, False]
+
+    def test_clients_are_independent(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate_per_s=1.0, burst=1, clock=clock)
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RateLimiter(rate_per_s=0.0, burst=1)
+        with pytest.raises(ValueError):
+            RateLimiter(rate_per_s=1.0, burst=0)

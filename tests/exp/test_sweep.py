@@ -200,6 +200,52 @@ class TestResultCache:
         assert code_version_hash() == code_version_hash()
 
 
+class TestCacheEviction:
+    @staticmethod
+    def _fill(cache, tmp_path, n):
+        """Put ``n`` entries with strictly increasing mtimes."""
+        keys = []
+        for i in range(n):
+            key = cache.key_for({"entry": i}, "v")
+            cache.put(key, {"value": i})
+            os.utime(tmp_path / f"{key}.json", ns=(0, (i + 1) * 1_000_000_000))
+            keys.append(key)
+        return keys
+
+    def test_prune_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        keys = self._fill(cache, tmp_path, 3)
+        evicted = cache.prune()
+        assert evicted == 2
+        assert cache.evicted == 2
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        # The newest entry always survives, even over budget: evicting
+        # the result just computed would make the cache useless.
+        assert cache.get(keys[2]) == {"value": 2}
+
+    def test_prune_is_a_noop_under_budget(self, tmp_path):
+        cache = ResultCache(str(tmp_path))  # default 512 MiB budget
+        keys = self._fill(cache, tmp_path, 3)
+        assert cache.prune() == 0
+        assert all(cache.get(k) is not None for k in keys)
+
+    def test_put_triggers_pruning(self, tmp_path):
+        # Pre-populate an oversized directory with a separate handle,
+        # then a fresh cache's first put must prune it back to budget.
+        seed_cache = ResultCache(str(tmp_path))
+        self._fill(seed_cache, tmp_path, 3)
+        cache = ResultCache(str(tmp_path), max_bytes=1)
+        key = cache.key_for({"entry": "new"}, "v")
+        cache.put(key, {"value": "new"})
+        assert cache.evicted >= 2
+        assert cache.get(key) == {"value": "new"}
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(str(tmp_path), max_bytes=0)
+
+
 # ----------------------------------------------------------------------
 # End-to-end: the jobs-invariance and caching contracts
 # ----------------------------------------------------------------------

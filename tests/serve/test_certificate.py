@@ -1,0 +1,97 @@
+"""Certificates and triage reports: issuance, signing, verification."""
+
+from repro.serve.certificate import (
+    CERTIFICATE_SCHEMA,
+    CLAIMS,
+    TRIAGE_SCHEMA,
+    build_triage,
+    issue_certificate,
+    sign_payload,
+    verify_certificate,
+)
+
+ARTIFACTS = {
+    "report.json": {"blake2b": "aa" * 16, "bytes": 120},
+    "trace.jsonl": {"blake2b": "bb" * 16, "bytes": 0},
+}
+
+
+def _cert(secret="s3cret", kind="chaos"):
+    return issue_certificate(
+        "run-1", kind, {"kind": kind}, "codev1", ARTIFACTS, secret
+    )
+
+
+class TestIssueAndVerify:
+    def test_round_trip_with_secret(self):
+        cert = _cert()
+        assert cert["schema"] == CERTIFICATE_SCHEMA
+        assert cert["claim"] == "chaos-invariants-clean"
+        assert cert["violations"] == 0
+        assert verify_certificate(cert, "s3cret") == []
+
+    def test_claims_per_kind(self):
+        for kind, claim in CLAIMS.items():
+            cert = _cert(kind=kind)
+            assert cert["claim"] == claim
+            assert verify_certificate(cert, "s3cret") == []
+
+    def test_structural_check_without_secret(self):
+        problems = verify_certificate(_cert())
+        assert problems == []  # structure fine; signature not checked
+
+    def test_wrong_secret_rejected(self):
+        problems = verify_certificate(_cert(), "not-the-secret")
+        assert any("signature" in p for p in problems)
+
+    def test_signing_is_deterministic(self):
+        assert _cert() == _cert()
+
+
+class TestTamperDetection:
+    def test_artifact_digest_tamper_breaks_signature(self):
+        cert = _cert()
+        cert["artifacts"]["report.json"]["blake2b"] = "cc" * 16
+        assert any("signature" in p for p in verify_certificate(cert, "s3cret"))
+
+    def test_claim_tamper_rejected(self):
+        cert = _cert()
+        cert["claim"] = "sweep-complete"
+        problems = verify_certificate(cert, "s3cret")
+        assert any("claim" in p for p in problems)
+
+    def test_nonzero_violations_rejected(self):
+        cert = _cert()
+        cert["violations"] = 3
+        problems = verify_certificate(cert)
+        assert any("zero violations" in p for p in problems)
+
+    def test_missing_fields_reported(self):
+        cert = _cert()
+        del cert["code_version"]
+        assert any("code_version" in p for p in verify_certificate(cert))
+
+    def test_wrong_schema_short_circuits(self):
+        problems = verify_certificate({"schema": "repro-certificate/0"})
+        assert len(problems) == 1
+        assert "schema" in problems[0]
+
+
+class TestSignPayload:
+    def test_signature_covers_key_order_canonically(self):
+        a = sign_payload({"x": 1, "y": 2}, "s")
+        b = sign_payload({"y": 2, "x": 1}, "s")
+        assert a == b
+        assert sign_payload({"x": 1, "y": 3}, "s") != a
+        assert sign_payload({"x": 1, "y": 2}, "t") != a
+
+
+class TestTriage:
+    def test_triage_shape(self):
+        violations = [{"invariant": "order_loss", "detail": "gone"}]
+        triage = build_triage("run-1", "chaos", {"kind": "chaos"}, "v1", violations)
+        assert triage["schema"] == TRIAGE_SCHEMA
+        assert triage["denied_claim"] == "chaos-invariants-clean"
+        assert triage["violations"] == violations
+        assert triage["violation_count"] == 1
+        assert "signature" not in triage  # a work item, not an attestation

@@ -1,0 +1,176 @@
+"""Evidence packs: write_pack round trips and offline verification.
+
+These tests use synthetic artifact bytes -- the pack layer is pure
+file plumbing, so nothing here needs to run the simulator.
+"""
+
+import json
+
+import pytest
+
+from repro.serve.evidence import (
+    CERTIFICATE,
+    MANIFEST,
+    REPORT,
+    TRACE,
+    TRIAGE,
+    artifact_digest,
+    verify_pack,
+    write_pack,
+)
+
+REPORT_BYTES = b'{\n  "ok": true\n}\n'
+TRACE_BYTES = b'{"trace_id": "t1"}\n'
+SECRET = "s3cret"
+
+
+def _write(tmp_path, clean=True, violations=None):
+    return write_pack(
+        tmp_path / "pack",
+        run_id="run-1",
+        kind="chaos",
+        spec={"kind": "chaos", "scenario": "smoke", "seed": 11},
+        code_version="codev1",
+        report=REPORT_BYTES,
+        trace=TRACE_BYTES,
+        clean=clean,
+        violations=violations or [],
+        secret=SECRET,
+    )
+
+
+class TestWritePack:
+    def test_clean_run_gets_a_certificate(self, tmp_path):
+        manifest = _write(tmp_path)
+        pack = tmp_path / "pack"
+        assert (pack / CERTIFICATE).exists()
+        assert not (pack / TRIAGE).exists()
+        assert (pack / REPORT).read_bytes() == REPORT_BYTES
+        assert (pack / TRACE).read_bytes() == TRACE_BYTES
+        assert manifest["certified"] is True
+        assert manifest["artifacts"][REPORT] == artifact_digest(REPORT_BYTES)
+        on_disk = json.loads((pack / MANIFEST).read_text())
+        assert on_disk == manifest
+
+    def test_unclean_run_gets_triage_not_certificate(self, tmp_path):
+        violations = [{"invariant": "order_loss", "detail": "gone"}]
+        manifest = _write(tmp_path, clean=False, violations=violations)
+        pack = tmp_path / "pack"
+        assert (pack / TRIAGE).exists()
+        assert not (pack / CERTIFICATE).exists()
+        assert manifest["certified"] is False
+        triage = json.loads((pack / TRIAGE).read_text())
+        assert triage["violations"] == violations
+
+    def test_clean_with_violations_is_a_bug(self, tmp_path):
+        with pytest.raises(ValueError, match="clean"):
+            _write(tmp_path, clean=True, violations=[{"invariant": "x"}])
+
+    def test_pack_bytes_are_deterministic(self, tmp_path):
+        _write(tmp_path)
+        first = {
+            p.name: p.read_bytes() for p in (tmp_path / "pack").iterdir()
+        }
+        write_pack(
+            tmp_path / "pack2",
+            run_id="run-1",
+            kind="chaos",
+            spec={"kind": "chaos", "scenario": "smoke", "seed": 11},
+            code_version="codev1",
+            report=REPORT_BYTES,
+            trace=TRACE_BYTES,
+            clean=True,
+            violations=[],
+            secret=SECRET,
+        )
+        second = {
+            p.name: p.read_bytes() for p in (tmp_path / "pack2").iterdir()
+        }
+        assert first == second
+
+
+class TestVerifyPack:
+    def test_clean_pack_verifies_with_secret(self, tmp_path):
+        _write(tmp_path)
+        verification = verify_pack(tmp_path / "pack", secret=SECRET)
+        assert verification["ok"] is True
+        assert verification["certified"] is True
+        assert verification["problems"] == []
+        assert any("signature verifies" in c for c in verification["checks"])
+
+    def test_signature_explicitly_unchecked_without_secret(self, tmp_path):
+        _write(tmp_path)
+        verification = verify_pack(tmp_path / "pack")
+        assert verification["ok"] is True
+        assert any("NOT checked" in c for c in verification["checks"])
+
+    def test_wrong_secret_fails(self, tmp_path):
+        _write(tmp_path)
+        verification = verify_pack(tmp_path / "pack", secret="wrong")
+        assert verification["ok"] is False
+        assert any("signature" in p for p in verification["problems"])
+
+    def test_triage_pack_verifies_as_uncertified(self, tmp_path):
+        _write(tmp_path, clean=False, violations=[{"invariant": "order_loss"}])
+        verification = verify_pack(tmp_path / "pack", secret=SECRET)
+        assert verification["ok"] is True
+        assert verification["certified"] is False
+        assert any("triage" in c for c in verification["checks"])
+
+    def test_tampered_report_detected(self, tmp_path):
+        _write(tmp_path)
+        (tmp_path / "pack" / REPORT).write_bytes(b'{\n  "ok": false\n}\n')
+        verification = verify_pack(tmp_path / "pack", secret=SECRET)
+        assert verification["ok"] is False
+        assert any(REPORT in p and "digest" in p for p in verification["problems"])
+
+    def test_missing_artifact_detected(self, tmp_path):
+        _write(tmp_path)
+        (tmp_path / "pack" / TRACE).unlink()
+        verification = verify_pack(tmp_path / "pack")
+        assert verification["ok"] is False
+        assert any("missing" in p for p in verification["problems"])
+
+    def test_unlisted_file_detected(self, tmp_path):
+        _write(tmp_path)
+        (tmp_path / "pack" / "extra.json").write_text("{}")
+        verification = verify_pack(tmp_path / "pack")
+        assert verification["ok"] is False
+        assert any("unlisted" in p for p in verification["problems"])
+
+    def test_certificate_and_triage_together_rejected(self, tmp_path):
+        _write(tmp_path)
+        pack = tmp_path / "pack"
+        # Forge a manifest listing both verdict artifacts.
+        manifest = json.loads((pack / MANIFEST).read_text())
+        triage_bytes = b"{}"
+        (pack / TRIAGE).write_bytes(triage_bytes)
+        manifest["artifacts"][TRIAGE] = artifact_digest(triage_bytes)
+        (pack / MANIFEST).write_text(json.dumps(manifest) + "\n")
+        verification = verify_pack(pack)
+        assert verification["ok"] is False
+        assert any("exactly one" in p for p in verification["problems"])
+
+    def test_missing_manifest_detected(self, tmp_path):
+        (tmp_path / "pack").mkdir()
+        verification = verify_pack(tmp_path / "pack")
+        assert verification["ok"] is False
+        assert any(MANIFEST in p for p in verification["problems"])
+
+    def test_garbage_manifest_detected(self, tmp_path):
+        pack = tmp_path / "pack"
+        pack.mkdir()
+        (pack / MANIFEST).write_text("{not json")
+        verification = verify_pack(pack)
+        assert verification["ok"] is False
+        assert any("not valid JSON" in p for p in verification["problems"])
+
+    def test_certified_flag_must_match_verdict_artifact(self, tmp_path):
+        _write(tmp_path)
+        pack = tmp_path / "pack"
+        manifest = json.loads((pack / MANIFEST).read_text())
+        manifest["certified"] = False
+        (pack / MANIFEST).write_text(json.dumps(manifest) + "\n")
+        verification = verify_pack(pack)
+        assert verification["ok"] is False
+        assert any("certified=false" in p for p in verification["problems"])

@@ -4,7 +4,13 @@ import pytest
 
 import json
 
-from repro.__main__ import build_chaos_parser, build_parser, build_trace_parser, main
+from repro.__main__ import (
+    SUBCOMMANDS,
+    build_chaos_parser,
+    build_parser,
+    build_trace_parser,
+    main,
+)
 
 
 class TestParser:
@@ -26,12 +32,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--clock-sync", "chrony"])
 
-    def test_help_lists_subcommands(self, capsys):
+    def test_help_lists_every_subcommand(self, capsys):
+        # The full subcommand surface, pinned: adding one means adding
+        # it here, to the dispatcher, and to the --help epilog.
+        assert SUBCOMMANDS == ("trace", "chaos", "bench", "sweep", "serve", "verify-pack")
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
-        assert "trace" in out
-        assert "chaos" in out
+        for name in SUBCOMMANDS:
+            assert name in out
 
     def test_chaos_parser_defaults(self):
         args = build_chaos_parser().parse_args([])
@@ -158,3 +167,92 @@ class TestMain:
         )
         assert code == 0
         assert "trades executed" in capsys.readouterr().out
+
+
+class TestUnifiedJsonOutput:
+    """Every subcommand's --json takes an optional PATH ('-' = stdout)
+    and emits the same canonical shape (sorted keys, 2-space indent,
+    trailing newline)."""
+
+    def test_chaos_json_to_file_matches_stdout_bytes(self, capsys, tmp_path):
+        assert main(["chaos", "--scenario", "smoke", "--seed", "11", "--json"]) == 0
+        stdout_bytes = capsys.readouterr().out
+        out_path = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--scenario", "smoke", "--seed", "11", "--json", str(out_path)]
+        ) == 0
+        assert out_path.read_text() == stdout_bytes
+        payload = json.loads(stdout_bytes)
+        assert payload["scenario"] == "smoke"
+
+    def test_trace_json_summary(self, capsys, tmp_path):
+        code = main(
+            [
+                "trace",
+                "--duration", "0.2",
+                "--seed", "7",
+                "--clock-sync", "perfect",
+                "--out", str(tmp_path / "trace.jsonl"),
+                "--json", str(tmp_path / "trace.json"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "trace.json").read_text())
+        assert payload["trace"] == {"seed": 7, "duration_s": 0.2}
+        assert payload["traces"] >= payload["completed"] > 0
+        assert "gw_ingress" in payload["spans_by_kind"]
+
+
+class TestServeCli:
+    def test_serve_parser_defaults(self):
+        from repro.serve.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.port == 8321
+        assert args.data_dir == ".repro-serve"
+        assert args.client == []
+        assert args.jobs == 1
+
+    def test_serve_rejects_malformed_client(self, capsys):
+        assert main(["serve", "--client", "no-token-here"]) == 2
+        assert "NAME=TOKEN" in capsys.readouterr().err
+
+
+class TestVerifyPackCli:
+    def _pack(self, tmp_path):
+        from repro.serve.evidence import write_pack
+
+        write_pack(
+            tmp_path / "pack",
+            run_id="run-1",
+            kind="chaos",
+            spec={"kind": "chaos", "scenario": "smoke", "seed": 11},
+            code_version="v1",
+            report=b"{}\n",
+            trace=b"",
+            clean=True,
+            violations=[],
+            secret="s3cret",
+        )
+        return tmp_path / "pack"
+
+    def test_valid_pack_exits_zero(self, capsys, tmp_path):
+        pack = self._pack(tmp_path)
+        assert main(["verify-pack", str(pack), "--secret", "s3cret"]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out and "certified clean" in out
+
+    def test_tampered_pack_exits_nonzero(self, capsys, tmp_path):
+        pack = self._pack(tmp_path)
+        (pack / "report.json").write_bytes(b'{"tampered": true}\n')
+        assert main(["verify-pack", str(pack), "--secret", "s3cret"]) == 1
+        out = capsys.readouterr().out
+        assert "VERIFICATION FAILED" in out
+        assert "FAIL:" in out
+
+    def test_json_output(self, capsys, tmp_path):
+        pack = self._pack(tmp_path)
+        assert main(["verify-pack", str(pack), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-pack-verification/1"
+        assert payload["ok"] is True
