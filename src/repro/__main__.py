@@ -23,6 +23,11 @@ writes (or, with ``--check``, compares against) the persistent
 a parallel worker pool with deterministic aggregation and on-disk
 result caching; see ``python -m repro sweep --help``.
 
+``python -m repro fairness`` runs the fairness-policy frontier study:
+the cloudex/dbo/pfo/noop backends head-to-head across clock regimes
+and chaos scenarios under identical seeds, emitting a deterministic
+frontier document; see ``python -m repro fairness --help``.
+
 ``python -m repro serve`` runs the exchange-as-a-service control
 plane: an authenticated HTTP API that accepts sweep/chaos/bench job
 submissions, executes them on the experiment pool, and serves signed
@@ -48,7 +53,7 @@ from repro.core.config import CloudExConfig
 
 #: Every subcommand, in help order.  ``python -m repro --help`` lists
 #: exactly these; the CLI test suite pins the list.
-SUBCOMMANDS = ("trace", "chaos", "bench", "sweep", "serve", "verify-pack")
+SUBCOMMANDS = ("trace", "chaos", "bench", "sweep", "fairness", "serve", "verify-pack")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,6 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
             "               check the BENCH_*.json baselines\n"
             "  sweep        run a (config x seed) experiment grid over a parallel\n"
             "               worker pool with caching and deterministic output\n"
+            "  fairness     run the fairness-policy frontier study (cloudex vs\n"
+            "               dbo vs pfo vs noop under identical seeds and chaos)\n"
             "  serve        run the exchange-as-a-service HTTP control plane:\n"
             "               submit sweep/chaos/bench jobs, download signed\n"
             "               evidence packs\n"
@@ -275,6 +282,10 @@ def main(argv=None) -> int:
             from repro.exp.cli import sweep_main
 
             return sweep_main(rest)
+        if name == "fairness":
+            from repro.fairness.cli import fairness_main
+
+            return fairness_main(rest)
         if name == "serve":
             from repro.serve.cli import serve_main
 

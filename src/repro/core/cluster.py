@@ -35,6 +35,7 @@ from repro.core.participant import Participant
 from repro.core.portfolio import PortfolioMatrix
 from repro.core.sharding import SymbolRouter
 from repro.core.types import OrderType, Side
+from repro.fairness import make_policy
 from repro.obs import DispatchProfiler, EventLog, MetricsRegistry, Tracer
 from repro.sim.engine import Simulator
 from repro.sim.latency import (
@@ -237,6 +238,9 @@ class CloudExCluster:
         if config.persist_snapshots:
             snapshot_sink = lambda snap, now_local: write_snapshot(self.trade_table, snap, now_local)
 
+        # One policy instance per cluster, shared by the engine and all
+        # gateways (PFO calibrates its holds once, on this instance).
+        self.fairness = make_policy(config)
         self.exchange = CentralExchangeServer(
             sim=self.sim,
             network=self.network,
@@ -251,6 +255,7 @@ class CloudExCluster:
             tracer=self.tracer,
             events=self.events,
             counters=self.counters,
+            fairness=self.fairness,
         )
         self.gateways: List[Gateway] = [
             Gateway(
@@ -263,6 +268,7 @@ class CloudExCluster:
                 tracer=self.tracer,
                 events=self.events,
                 counters=self.counters,
+                fairness=self.fairness,
             )
             for host in self.gateway_hosts
         ]
@@ -479,10 +485,13 @@ class CloudExCluster:
         md_finalized = self.finalize_metrics()
         payload: Dict[str, object] = dict(self.metrics.summary())
         payload["md_finalized_at_end"] = md_finalized
-        payload["d_s_ns"] = self.exchange.current_sequencer_delay_ns()
+        payload["d_s_ns"] = int(self.exchange.current_sequencer_delay_ns())
         payload["d_h_ns"] = self.exchange.d_h
         payload["events_processed"] = self.sim.events_processed
         payload["cpu"] = self.cpu_report()
+        payload["fairness_policy"] = self.config.fairness_policy
+        payload["e2e_p99_us"] = self.metrics.e2e_summary().p99_us
+        payload["hr_late_ratio"] = self.hr_late_ratio()
         return payload
 
     def _on_hr_flush(self, seqs: List[int]) -> None:
@@ -533,6 +542,17 @@ class CloudExCluster:
             "gateway_cores": sum(gateway_cores) / len(gateway_cores),
             "participant_cores": sum(participant_cores) / len(participant_cores),
         }
+
+    def hr_late_ratio(self) -> float:
+        """Late fraction across every gateway's outbound buffer.
+
+        The gateway-side view of outbound unfairness (piece-gateway
+        pairs late / handled), comparable across fairness policies.
+        """
+        handled = sum(g.hr_buffer.held_count for g in self.gateways)
+        if handled == 0:
+            return 0.0
+        return sum(g.hr_buffer.late_count for g in self.gateways) / handled
 
     def leaderboard(self) -> List:
         """Participants ranked by marked-to-market account value."""

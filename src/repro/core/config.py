@@ -40,6 +40,11 @@ from typing import List, Optional, Tuple
 from repro.chaos.schedule import FaultSchedule
 from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
 
+#: Known fairness backends.  Kept as a literal (rather than imported
+#: from repro.fairness.base.POLICY_NAMES) so the config layer stays
+#: import-light; tests/fairness pins the two tuples equal.
+_FAIRNESS_POLICIES = ("cloudex", "dbo", "pfo", "noop")
+
 
 def default_symbols(count: int) -> List[str]:
     """SYM000, SYM001, ... -- deterministic symbol universe."""
@@ -79,6 +84,26 @@ class CloudExConfig:
     # ------------------------------------------------------------------
     sequencer_delay_us: float = 500.0  # d_s
     holdrelease_delay_us: float = 1000.0  # d_h
+
+    # ------------------------------------------------------------------
+    # Fairness policy (repro.fairness): which mechanism answers the
+    # inbound-ordering and outbound-release questions.  "cloudex" (the
+    # default) is the paper's d_s sequencer + d_h hold/release, wired
+    # bit-identically to the pre-policy code.  "dbo" orders by measured
+    # per-gateway delay bounds with no clock sync, "pfo" holds for a
+    # latency-model quantile chosen from a miss-probability threshold,
+    # "noop" is the unfair passthrough baseline.
+    # ------------------------------------------------------------------
+    fairness_policy: str = "cloudex"
+    #: DBO: sliding-window length (per gateway) for the lag bounds.
+    dbo_window: int = 128
+    #: DBO: upper bound on the adaptive release guard.
+    dbo_guard_cap_us: float = 250.0
+    #: PFO: target posterior probability that no earlier-sent message
+    #: is still in flight at release time.
+    pfo_threshold: float = 0.9
+    #: PFO: Monte-Carlo samples used to calibrate the hold quantiles.
+    pfo_calibration_draws: int = 512
 
     # ------------------------------------------------------------------
     # DDP (paper §3): None = static delay parameter
@@ -331,6 +356,29 @@ class CloudExConfig:
             raise ValueError("batch interval must be positive")
         if self.sequencer_delay_us < 0 or self.holdrelease_delay_us < 0:
             raise ValueError("delay parameters must be non-negative")
+        if self.fairness_policy not in _FAIRNESS_POLICIES:
+            raise ValueError(
+                f"unknown fairness_policy {self.fairness_policy!r}; "
+                f"expected one of {_FAIRNESS_POLICIES}"
+            )
+        if self.fairness_policy != "cloudex" and (
+            self.ddp_inbound_target is not None or self.ddp_outbound_target is not None
+        ):
+            # DDP tunes d_s/d_h, which only the cloudex backend has;
+            # "adjusting" a policy that ignores the knob would report
+            # controller trajectories that never took effect.
+            raise ValueError(
+                f"DDP targets require fairness_policy='cloudex' "
+                f"(got {self.fairness_policy!r})"
+            )
+        if self.dbo_window < 1:
+            raise ValueError("dbo_window must be >= 1")
+        if self.dbo_guard_cap_us < 0:
+            raise ValueError("dbo_guard_cap_us must be non-negative")
+        if not 0.0 < self.pfo_threshold < 1.0:
+            raise ValueError(f"pfo_threshold must be in (0,1), got {self.pfo_threshold}")
+        if self.pfo_calibration_draws < 1:
+            raise ValueError("pfo_calibration_draws must be >= 1")
         if not 0 <= self.subscriptions_per_participant <= self.n_symbols:
             raise ValueError("subscriptions_per_participant outside [0, n_symbols]")
         if not 0.0 <= self.trace_sample_rate <= 1.0:

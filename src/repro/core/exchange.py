@@ -54,7 +54,7 @@ from repro.obs import tracing
 from repro.core.portfolio import PortfolioMatrix
 from repro.core.risk import MarginRiskPolicy
 from repro.core.ros import RosDeduplicator
-from repro.core.sequencer import Sequencer, SequencerSample
+from repro.core.sequencer import SequencerSample
 from repro.core.sharding import SymbolRouter
 from repro.core.surveillance import CircuitBreaker
 from repro.core.types import OrderStatus, RejectReason
@@ -92,11 +92,13 @@ class EngineShard:
             self_trade_prevention=server.config.self_trade_prevention,
             circuit_breaker=server.circuit_breaker,
         )
-        self.sequencer = Sequencer(
+        self.sequencer = server.fairness.build_inbound(
             sim=sim,
             clock=server.clock,
             on_eligible=self._maybe_start,
-            delay_ns=server.config.sequencer_delay_ns,
+            config=server.config,
+            rngs=server.network.rngs,
+            shard_id=shard_id,
             on_sample=server._on_sequencer_sample,
             on_release=server._on_sequencer_release if server.tracer is not None else None,
         )
@@ -214,11 +216,13 @@ class BatchEngineShard:
             reference_prices={s: server.config.initial_price for s in symbols},
             snapshot_depth=server.config.snapshot_depth,
         )
-        self.sequencer = Sequencer(
+        self.sequencer = server.fairness.build_inbound(
             sim=sim,
             clock=server.clock,
             on_eligible=self._drain,
-            delay_ns=server.config.sequencer_delay_ns,
+            config=server.config,
+            rngs=server.network.rngs,
+            shard_id=shard_id,
             on_sample=server._on_sequencer_sample,
             on_release=server._on_sequencer_release if server.tracer is not None else None,
         )
@@ -292,11 +296,20 @@ class CentralExchangeServer(Actor):
         tracer=None,
         events=None,
         counters=None,
+        fairness=None,
     ) -> None:
         super().__init__(sim, host.name)
         self.network = network
         self.host = host
         self.config = config
+        # The fairness policy builds each shard's inbound ordering and
+        # sets the engine's outbound hold; the cluster builder shares
+        # one instance with the gateways.
+        if fairness is None:
+            from repro.fairness import make_policy
+
+            fairness = make_policy(config)
+        self.fairness = fairness
         self.router = router
         self.portfolio = portfolio
         self.metrics = metrics
@@ -366,7 +379,7 @@ class CentralExchangeServer(Actor):
                     f"engine.shard{shard.shard_id}.queue_depth", fn=shard.backlog_size
                 )
 
-        self.d_h = config.holdrelease_delay_ns
+        self.d_h = self.fairness.engine_hold_ns(config, network.rngs)
         self._md_seq = itertools.count(1)
         # Market data goes to *every* gateway: simultaneous release
         # requires every H/R buffer to hold the piece, and the

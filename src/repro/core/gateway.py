@@ -16,7 +16,6 @@ from typing import Dict
 
 from repro.core.auth import AuthRegistry
 from repro.core.config import CloudExConfig
-from repro.core.holdrelease import HoldReleaseBuffer
 from repro.core.marketdata import MarketDataPiece
 from repro.core.messages import (
     CancelRequest,
@@ -56,6 +55,7 @@ class Gateway(Actor):
         tracer=None,
         events=None,
         counters=None,
+        fairness=None,
     ) -> None:
         super().__init__(sim, host.name)
         self.network = network
@@ -72,12 +72,21 @@ class Gateway(Actor):
         # symbol -> participant host names subscribed through this
         # gateway (dict used as an insertion-ordered set).
         self.subscriptions: Dict[str, Dict[str, None]] = {}
-        self.hr_buffer = HoldReleaseBuffer(
+        # The fairness policy (repro.fairness) decides how market data
+        # is released at this gateway; the cloudex default builds the
+        # classic HoldReleaseBuffer with these exact arguments.
+        if fairness is None:
+            from repro.fairness import make_policy
+
+            fairness = make_policy(config)
+        self.hr_buffer = fairness.build_outbound(
             sim=sim,
             clock=self.clock,
             gateway_id=self.name,
             release=self._dispense_market_data,
             report=self._send_report,
+            config=config,
+            rngs=network.rngs,
             events=events,
             late_counter=counters.counter("hr.late_pieces") if counters is not None else None,
         )

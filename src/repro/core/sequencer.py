@@ -119,7 +119,17 @@ class Sequencer:
             self._arm_or_notify()
 
     def set_delay(self, delay_ns: int) -> None:
-        """Update ``d_s`` (DDP).  Re-arms the release timer."""
+        """Update ``d_s`` (DDP).  Re-arms the release timer.
+
+        Mid-run semantics (pinned; DDP and golden runs rely on them):
+        release times are computed lazily at pop as ``gateway_ts +
+        self.delay_ns``, never stored, so *already-queued* items see the
+        new delay too -- lowering ``d_s`` makes an already-overdue head
+        eligible immediately (``_arm_or_notify`` calls ``on_eligible``
+        synchronously), and raising it retroactively extends the hold
+        of everything still queued.  The queue order itself
+        (gateway-timestamp priority) never changes.
+        """
         if delay_ns < 0:
             raise ValueError(f"d_s must be non-negative, got {delay_ns}")
         if delay_ns == self.delay_ns:

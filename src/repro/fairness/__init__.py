@@ -1,0 +1,52 @@
+"""Pluggable fairness policies (see :mod:`repro.fairness.base`).
+
+Selected via ``CloudExConfig.fairness_policy``; the cluster builder
+creates one policy per cluster with :func:`make_policy` and threads it
+through the exchange server (inbound ordering per shard, the engine's
+outbound hold) and every gateway (outbound release).
+"""
+
+from __future__ import annotations
+
+from repro.fairness.base import POLICY_NAMES, FairnessPolicy
+from repro.fairness.cloudex import CloudExPolicy
+from repro.fairness.dbo import DboPolicy
+from repro.fairness.noop import NoopPolicy
+from repro.fairness.pfo import PfoPolicy
+
+_REGISTRY = {
+    "cloudex": CloudExPolicy,
+    "dbo": DboPolicy,
+    "pfo": PfoPolicy,
+    "noop": NoopPolicy,
+}
+
+assert set(_REGISTRY) == set(POLICY_NAMES)
+
+
+def make_policy(config) -> FairnessPolicy:
+    """One policy instance for ``config.fairness_policy``.
+
+    A fresh instance per cluster: PFO caches its calibrated holds on
+    the instance, and those must be derived from *this* cluster's RNG
+    registry.
+    """
+    try:
+        cls = _REGISTRY[config.fairness_policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown fairness policy {config.fairness_policy!r}; "
+            f"expected one of {POLICY_NAMES}"
+        ) from None
+    return cls()
+
+
+__all__ = [
+    "FairnessPolicy",
+    "POLICY_NAMES",
+    "make_policy",
+    "CloudExPolicy",
+    "DboPolicy",
+    "PfoPolicy",
+    "NoopPolicy",
+]

@@ -1,0 +1,208 @@
+"""DBO-style inbound ordering: delay bounds, no clock sync.
+
+DBO (Goyal et al., PAPERS.md) observes that response-time fairness
+does not need globally synchronized clocks: it needs each message
+ordered by when it *would have arrived* had it taken the fastest path
+its (participant, gateway) pair has ever exhibited.  This backend
+implements that idea against the per-gateway paths of the CloudEx
+topology:
+
+- For every order the engine records the **lag** between its local
+  receipt time and the order's gateway timestamp.  The lag is the sum
+  of (unknown gateway clock offset) + (gateway service) + (path
+  delay); a sliding-window *minimum* of it converges on (offset + the
+  minimum path delay), cancelling the clock offset without ever
+  estimating it -- the reason DBO needs no sync.
+- An order stamped ``t_g`` at gateway *g* is assigned the **virtual
+  arrival** ``v = t_g + min_lag(g)``: the engine-local instant it
+  would have arrived via *g*'s fastest observed path.  Virtual
+  arrivals of different gateways live on the engine's own clock, so
+  they are mutually comparable even though the gateway clocks are not.
+- Orders are released in virtual-arrival order after a **guard**
+  delay: the largest lag *residual* (window max - window min, i.e. the
+  observed path-jitter bound) across gateways, capped at
+  ``dbo_guard_cap_us``.  The guard gives an earlier-stamped order on a
+  currently-jittery path time to arrive, and the cap bounds the added
+  latency -- under calm networks the guard collapses toward zero,
+  which is how DBO undercuts a fixed ``d_s`` on latency.
+
+Outbound market data is released on arrival (DBO has no dissemination
+story), so ``engine_hold_ns`` is 0.  No RNG stream is consumed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.fairness.base import FairnessPolicy, ReleaseRecorder
+from repro.fairness.noop import ImmediateRelease
+from repro.sim.timeunits import MICROSECOND
+
+
+class _PathBound:
+    """Sliding-window lag statistics for one gateway's path."""
+
+    __slots__ = ("window", "samples")
+
+    def __init__(self, window: int) -> None:
+        self.samples: Deque[int] = deque(maxlen=window)
+
+    def observe(self, lag_ns: int) -> None:
+        self.samples.append(lag_ns)
+
+    def min_lag(self) -> int:
+        return min(self.samples)
+
+    def residual(self) -> int:
+        return max(self.samples) - min(self.samples)
+
+
+class DelayBoundOrdering(ReleaseRecorder):
+    """Inbound ordering by per-gateway delay bounds (see module doc)."""
+
+    def __init__(self, sim, clock, on_eligible, window: int, guard_cap_ns: int,
+                 on_sample=None, on_release=None):
+        super().__init__(on_sample)
+        self.sim = sim
+        self.clock = clock
+        self.on_eligible = on_eligible
+        self.window = window
+        self.guard_cap_ns = guard_cap_ns
+        self.on_release = on_release
+        self._bounds: Dict[str, _PathBound] = {}
+        # Heap entries: (virtual_arrival, priority_key, seq, item,
+        # stamped_true, enqueued_local).  The virtual arrival is frozen
+        # at enqueue (with the bounds known then) so heap order is
+        # stable; the guard is evaluated live at release time.
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self._wakeup = None
+        self._wakeup_target = 0
+
+    # -- protocol: producer side --------------------------------------
+    def enqueue(self, priority_key: tuple, item: Any, stamped_true: int) -> None:
+        gateway_ts, gateway_id = priority_key[0], priority_key[1]
+        enqueued_local = self.clock.now()
+        bound = self._bounds.get(gateway_id)
+        if bound is None:
+            bound = self._bounds[gateway_id] = _PathBound(self.window)
+        bound.observe(enqueued_local - gateway_ts)
+        virtual = gateway_ts + bound.min_lag()
+        entry = (virtual, priority_key, self._seq, item, stamped_true, enqueued_local)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        self.enqueued_count += 1
+        if self._heap[0] is entry:
+            self._arm_or_notify()
+
+    def guard_ns(self) -> int:
+        """Current guard: the worst observed path-jitter bound, capped."""
+        worst = 0
+        for bound in self._bounds.values():
+            residual = bound.residual()
+            if residual > worst:
+                worst = residual
+        return worst if worst < self.guard_cap_ns else self.guard_cap_ns
+
+    @property
+    def delay_ns(self) -> int:
+        """The live guard, surfaced under the shared diagnostic name."""
+        return self.guard_ns()
+
+    def set_delay(self, delay_ns: int) -> None:
+        """The guard is measured, not set; DDP is rejected in config."""
+
+    # -- protocol: consumer side --------------------------------------
+    def _head_release_local(self) -> Optional[int]:
+        if not self._heap:
+            return None
+        return self._heap[0][0] + self.guard_ns()
+
+    def pop_eligible(self):
+        release_at = self._head_release_local()
+        if release_at is None:
+            return None
+        now_local = self.clock.now()
+        if release_at > now_local:
+            self._arm(release_at)
+            return None
+        _, key, _, item, stamped_true, enqueued_local = heapq.heappop(self._heap)
+        eligible_local = max(enqueued_local, release_at)
+        self.record_release(key[0], stamped_true, enqueued_local, eligible_local)
+        if self.on_release is not None:
+            self.on_release(item, eligible_local)
+        return item
+
+    # -- release timer (same shape as Sequencer's) --------------------
+    def _arm(self, release_at_local: int) -> None:
+        if (
+            self._wakeup is not None
+            and not self._wakeup.cancelled
+            and self._wakeup_target <= release_at_local
+        ):
+            return
+        if self._wakeup is not None:
+            self._wakeup.cancel()
+        self._wakeup = self.clock.schedule_at_local(release_at_local, self._fire)
+        self._wakeup_target = release_at_local
+
+    def _arm_or_notify(self) -> None:
+        release_at = self._head_release_local()
+        if release_at is None:
+            return
+        if release_at <= self.clock.now():
+            self.on_eligible()
+        else:
+            self._arm(release_at)
+
+    def _fire(self) -> None:
+        self._wakeup = None
+        if self._heap:
+            self.on_eligible()
+
+    # -- protocol: diagnostics ----------------------------------------
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def pending_items(self) -> List[Any]:
+        return [entry[3] for entry in self._heap]
+
+    def __repr__(self) -> str:
+        return (
+            f"DelayBoundOrdering(guard={self.guard_ns()}ns, pending={len(self._heap)}, "
+            f"released={self.released_count})"
+        )
+
+
+class DboPolicy(FairnessPolicy):
+    """Response-time fairness via measured delay bounds (no clock sync)."""
+
+    name = "dbo"
+
+    def build_inbound(
+        self, *, sim, clock, on_eligible, config, rngs, shard_id,
+        on_sample=None, on_release=None,
+    ):
+        return DelayBoundOrdering(
+            sim,
+            clock,
+            on_eligible,
+            window=config.dbo_window,
+            guard_cap_ns=int(config.dbo_guard_cap_us * MICROSECOND),
+            on_sample=on_sample,
+            on_release=on_release,
+        )
+
+    def build_outbound(
+        self, *, sim, clock, gateway_id, release, report, config, rngs,
+        events=None, late_counter=None,
+    ):
+        return ImmediateRelease(
+            sim, clock, gateway_id, release, report=report, events=events,
+            late_counter=late_counter,
+        )
+
+    def engine_hold_ns(self, config, rngs) -> int:
+        return 0

@@ -144,6 +144,68 @@ def ros_attribution(traces: Iterable[OrderTrace]) -> Dict[str, Dict[str, float]]
     return out
 
 
+#: The shared per-policy report schema (repro.fairness): every fairness
+#: backend's run is summarized with exactly these field names, so
+#: frontier documents and tables are comparable across policies.
+#: Sources are :meth:`CloudExCluster.result_payload` keys plus the
+#: derived CPU proxy ``events_per_order``.
+POLICY_METRIC_FIELDS: Tuple[str, ...] = (
+    "inbound_unfairness",
+    "inbound_unfairness_true",
+    "outbound_unfairness",
+    "hr_late_ratio",
+    "e2e_p50_us",
+    "e2e_p99_us",
+    "submission_p50_us",
+    "submission_p99_us",
+    "mean_queuing_delay_us",
+    "mean_releasing_delay_us",
+    "throughput_per_s",
+    "events_processed",
+    "events_per_order",
+    "d_s_ns",
+    "d_h_ns",
+)
+
+
+def policy_metrics_row(result: Dict[str, object]) -> Dict[str, float]:
+    """One run's result payload reduced to the shared policy schema.
+
+    ``events_per_order`` -- simulator events per matched order -- is
+    the frontier study's CPU proxy: policies that arm fewer release
+    timers process measurably fewer events for the same workload.
+    """
+    row: Dict[str, float] = {}
+    for fieldname in POLICY_METRIC_FIELDS:
+        if fieldname == "events_per_order":
+            orders = float(result.get("orders_matched", 0.0) or 0.0)
+            events = float(result.get("events_processed", 0.0) or 0.0)
+            row[fieldname] = events / orders if orders > 0 else 0.0
+        else:
+            value = result.get(fieldname, 0.0)
+            row[fieldname] = float(value) if value is not None else 0.0
+    return row
+
+
+def policy_comparison_table(
+    rows: Sequence[Tuple[str, Dict[str, float]]],
+    columns: Sequence[str] = (
+        "inbound_unfairness_true",
+        "outbound_unfairness",
+        "hr_late_ratio",
+        "e2e_p50_us",
+        "e2e_p99_us",
+        "events_per_order",
+    ),
+) -> str:
+    """Aligned table of ``(label, policy_metrics_row)`` pairs."""
+    body = [
+        [label] + [f"{metrics.get(column, 0.0):.4g}" for column in columns]
+        for label, metrics in rows
+    ]
+    return format_table(["cell"] + list(columns), body)
+
+
 def ros_attribution_table(traces: Sequence[OrderTrace]) -> str:
     attribution = ros_attribution(traces)
     total = sum(stats["wins"] for stats in attribution.values()) or 1.0

@@ -35,6 +35,7 @@ CLAIMS = {
     "chaos": "chaos-invariants-clean",
     "sweep": "sweep-complete",
     "bench": "bench-complete",
+    "fairness": "fairness-study-complete",
 }
 
 

@@ -7,7 +7,9 @@ crash-tolerant :func:`repro.exp.pool.run_parallel` and the same
 content-addressed result cache) as ``python -m repro sweep``, and its
 ``report.json`` serializes through the same canonical formatter
 (:func:`repro.cliutil.dump_json_document`), so the two front doors are
-byte-identical.  Chaos jobs likewise run through
+byte-identical.  Fairness jobs likewise run through
+:func:`repro.fairness.study.run_fairness_study` and pack the same
+frontier document ``python -m repro fairness --json`` emits.  Chaos jobs likewise run through
 :func:`repro.chaos.scenarios.run_scenario` and serialize exactly what
 ``python -m repro chaos --json`` prints.
 
@@ -113,6 +115,37 @@ def _run_sweep(
     )
 
 
+def _run_fairness(
+    spec: Dict[str, object],
+    jobs: int,
+    cache_dir: Optional[str],
+    timeout_s: Optional[float],
+    retries: int,
+) -> RunArtifacts:
+    from repro.fairness.study import run_fairness_study
+    from repro.serve.schema import build_fairness_study
+
+    study_spec, labels = build_fairness_study(spec)
+    frontier, outcome = run_fairness_study(
+        study_spec,
+        labels,
+        jobs=jobs,
+        use_cache=cache_dir is not None,
+        cache_dir=cache_dir,
+        timeout_s=timeout_s,
+        retries=retries,
+    )
+    violations = [
+        {"invariant": "cell_complete", "task": key, "error": error}
+        for key, error in outcome.failures
+    ]
+    return RunArtifacts(
+        report=dump_json_document(frontier).encode("utf-8"),
+        clean=outcome.ok,
+        violations=violations,
+    )
+
+
 def _run_bench(spec: Dict[str, object], jobs: int) -> RunArtifacts:
     from repro.perf.bench import run_macro_suite, run_micro_suite
 
@@ -146,6 +179,8 @@ def execute_job(
         return _run_chaos(spec, jobs, timeout_s, retries)
     if kind == "sweep":
         return _run_sweep(spec, jobs, cache_dir, timeout_s, retries)
+    if kind == "fairness":
+        return _run_fairness(spec, jobs, cache_dir, timeout_s, retries)
     if kind == "bench":
         return _run_bench(spec, jobs)
     raise ValueError(f"unknown job kind {kind!r}")

@@ -20,6 +20,13 @@ Supported kinds:
     and ``seed``.
 ``bench``
     ``suite`` (micro/macro/all), ``quick``, ``repeats``.
+``fairness``
+    A :func:`repro.fairness.study.build_fairness_spec` study by value:
+    ``policies``, ``clocks``, ``scenarios`` (name lists), ``seeds``,
+    ``master_seed``, ``n_participants``, ``n_gateways``, ``n_symbols``,
+    ``rate_per_participant``, ``warmup_s``, ``duration_s``, ``name``.
+    Field meanings are exactly ``python -m repro fairness``'s; the
+    evidence pack's ``report.json`` is the frontier document.
 
 The job identity is :func:`job_key`: BLAKE2 over the canonical
 normalized spec plus the simulator source-tree hash, reusing
@@ -35,7 +42,7 @@ from repro.exp.cache import content_key
 
 SCHEMA = "repro-job/1"
 
-JOB_KINDS = ("sweep", "chaos", "bench")
+JOB_KINDS = ("sweep", "chaos", "bench", "fairness")
 
 BENCH_SUITES = ("micro", "macro", "all")
 
@@ -141,10 +148,68 @@ def _normalize_bench(spec: Dict[str, object]) -> Dict[str, object]:
     return {"kind": "bench", "suite": suite, "quick": quick, "repeats": repeats}
 
 
+def _as_name_list(spec: Dict[str, object], key: str, default: tuple) -> List[str]:
+    value = spec.get(key, list(default))
+    _require(
+        isinstance(value, list)
+        and bool(value)
+        and all(isinstance(item, str) and item for item in value),
+        f"{key!r} must be a non-empty list of names",
+    )
+    return list(value)
+
+
+def _normalize_fairness(spec: Dict[str, object]) -> Dict[str, object]:
+    from repro.fairness.base import POLICY_NAMES
+    from repro.fairness.study import DEFAULT_CLOCKS, SCENARIOS
+
+    _check_keys(
+        spec,
+        ("name", "policies", "clocks", "scenarios", "seeds", "master_seed",
+         "n_participants", "n_gateways", "n_symbols", "rate_per_participant",
+         "warmup_s", "duration_s"),
+        "fairness",
+    )
+    name = spec.get("name", "fairness")
+    _require(isinstance(name, str) and bool(name), "'name' must be a non-empty string")
+    seeds = spec.get("seeds", 1)
+    if isinstance(seeds, list):
+        _require(bool(seeds) and all(isinstance(s, int) and not isinstance(s, bool) for s in seeds),
+                 "'seeds' list must be non-empty integers")
+    else:
+        _require(isinstance(seeds, int) and not isinstance(seeds, bool) and seeds >= 1,
+                 "'seeds' must be an integer >= 1 or an explicit list")
+    normalized: Dict[str, object] = {
+        "kind": "fairness",
+        "name": name,
+        "policies": _as_name_list(spec, "policies", POLICY_NAMES),
+        "clocks": _as_name_list(spec, "clocks", DEFAULT_CLOCKS),
+        "scenarios": _as_name_list(spec, "scenarios", tuple(SCENARIOS)),
+        "seeds": seeds,
+        "master_seed": _as_int(spec, "master_seed", 0),
+        "n_participants": _as_int(spec, "n_participants", 8),
+        "n_gateways": _as_int(spec, "n_gateways", 4),
+        "n_symbols": _as_int(spec, "n_symbols", 10),
+        "rate_per_participant": _as_float(spec, "rate_per_participant", 300.0),
+        "warmup_s": _as_float(spec, "warmup_s", 0.3),
+        "duration_s": _as_float(spec, "duration_s", 0.8),
+    }
+    # Same rule as sweeps: the full study spec is built (and its grid
+    # expanded) at submission, so unknown policy/clock/scenario names or
+    # invalid configs are a 400, not a worker crash.
+    try:
+        spec_obj, _ = build_fairness_study(normalized)
+        spec_obj.expand()
+    except (TypeError, ValueError) as exc:
+        raise JobError(f"invalid fairness spec: {exc}") from None
+    return normalized
+
+
 _NORMALIZERS = {
     "sweep": _normalize_sweep,
     "chaos": _normalize_chaos,
     "bench": _normalize_bench,
+    "fairness": _normalize_fairness,
 }
 
 
@@ -196,6 +261,32 @@ def build_sweep_spec(spec: Dict[str, object]):
     )
 
 
+def build_fairness_study(spec: Dict[str, object]):
+    """Materialize a normalized fairness job as ``(SweepSpec, labels)``.
+
+    The single point where HTTP-submitted studies and ``python -m repro
+    fairness`` meet (see :func:`build_sweep_spec`), so the frontier
+    document in the evidence pack is byte-identical between front doors.
+    """
+    from repro.fairness.study import build_fairness_spec
+
+    seeds = spec["seeds"]
+    return build_fairness_spec(
+        policies=list(spec["policies"]),
+        clocks=list(spec["clocks"]),
+        scenarios=list(spec["scenarios"]),
+        seeds=list(seeds) if isinstance(seeds, list) else int(seeds),
+        master_seed=int(spec["master_seed"]),
+        n_participants=int(spec["n_participants"]),
+        n_gateways=int(spec["n_gateways"]),
+        n_symbols=int(spec["n_symbols"]),
+        rate_per_participant=float(spec["rate_per_participant"]),
+        warmup_s=float(spec["warmup_s"]),
+        duration_s=float(spec["duration_s"]),
+        name=str(spec["name"]),
+    )
+
+
 def describe(spec: Dict[str, object]) -> str:
     """One-line human label for run listings."""
     kind = spec["kind"]
@@ -206,4 +297,12 @@ def describe(spec: Dict[str, object]) -> str:
         return f"sweep {spec['name']}: {len(points)} point(s) x {n_seeds} seed(s)"
     if kind == "chaos":
         return f"chaos {spec['scenario']} (seed={spec['seed']})"
+    if kind == "fairness":
+        seeds = spec["seeds"]
+        n_seeds = len(seeds) if isinstance(seeds, list) else seeds
+        cells = len(spec["policies"]) * len(spec["clocks"]) * len(spec["scenarios"]) * n_seeds
+        return (
+            f"fairness {spec['name']}: {'/'.join(spec['policies'])} "
+            f"({cells} cell(s))"
+        )
     return f"bench {spec['suite']} ({'quick' if spec['quick'] else 'full'})"

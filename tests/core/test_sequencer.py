@@ -137,6 +137,35 @@ class TestDynamicDelay:
         h.sim.run()
         assert h.released == [("a", 4_000)]
 
+    def test_queued_items_all_see_new_delay(self):
+        """Pinned mid-run semantics: release times are computed lazily
+        at pop from the *current* d_s, so items queued before the
+        change are held (or released) under the new delay too."""
+        h = Harness(delay_ns=100_000)
+        for t, ts in ((1_000, 1_000), (1_100, 2_000), (1_200, 3_000)):
+            h.enqueue_at(t, ts=ts, item=ts)
+        h.sim.schedule_at(5_000, h.sequencer.set_delay, 500)
+        h.sim.run()
+        # All three were overdue under d_s=500 at t=5_000: released
+        # there and then, still in timestamp order.
+        assert h.released == [(1_000, 5_000), (2_000, 5_000), (3_000, 5_000)]
+
+    def test_shrink_fires_on_eligible_synchronously(self):
+        """Lowering d_s past an overdue head wakes the consumer at the
+        set_delay instant itself, not at some later enqueue/pop."""
+        h = Harness(delay_ns=50_000)
+        h.enqueue_at(1_000, ts=1_000, item="a")
+        h.sim.schedule_at(3_000, h.sequencer.set_delay, 0)
+        h.sim.run()
+        assert h.released == [("a", 3_000)]
+
+    def test_unchanged_delay_is_a_no_op(self):
+        h = Harness(delay_ns=10_000)
+        h.enqueue_at(1_000, ts=1_000, item="a")
+        h.sim.schedule_at(2_000, h.sequencer.set_delay, 10_000)
+        h.sim.run()
+        assert h.released == [("a", 11_000)]
+
     def test_negative_delay_rejected(self):
         h = Harness()
         with pytest.raises(ValueError):

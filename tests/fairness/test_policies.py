@@ -1,0 +1,353 @@
+"""Unit tests for the fairness-policy backends."""
+
+import pytest
+
+from repro.core.config import CloudExConfig
+from repro.core.holdrelease import HoldReleaseBuffer
+from repro.core.marketdata import MarketDataPiece
+from repro.core.sequencer import Sequencer
+from repro.fairness import POLICY_NAMES, make_policy
+from repro.fairness.cloudex import CloudExPolicy
+from repro.fairness.dbo import DboPolicy, DelayBoundOrdering
+from repro.fairness.noop import ImmediateRelease, NoopPolicy, PassthroughOrdering
+from repro.fairness.pfo import PfoPolicy
+from repro.sim.clock import HostClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def config_for(policy, **overrides):
+    fields = dict(seed=3, n_participants=4, n_gateways=2, n_symbols=4,
+                  fairness_policy=policy)
+    fields.update(overrides)
+    return CloudExConfig(**fields)
+
+
+class TestRegistry:
+    def test_every_name_resolves(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(config_for(name))
+            assert policy.name == name
+
+    def test_unknown_name_rejected(self):
+        config = config_for("cloudex")
+        object.__setattr__(config, "fairness_policy", "bogus")
+        with pytest.raises(ValueError, match="bogus"):
+            make_policy(config)
+
+    def test_fresh_instance_per_call(self):
+        # PFO caches its calibration on the instance, so clusters must
+        # not share policy objects across configs.
+        config = config_for("pfo")
+        assert make_policy(config) is not make_policy(config)
+
+
+class InboundHarness:
+    """Any inbound backend wired to an always-ready consumer."""
+
+    def __init__(self, build):
+        self.sim = Simulator()
+        self.clock = HostClock(self.sim)
+        self.released = []
+        self.samples = []
+        self.ordering = build(self)
+
+    def _drain(self):
+        while True:
+            item = self.ordering.pop_eligible()
+            if item is None:
+                break
+            self.released.append((item, self.sim.now))
+
+    def enqueue_at(self, t, ts, item, gateway="g", stamped_true=None):
+        self.sim.schedule_at(
+            t,
+            self.ordering.enqueue,
+            (ts, gateway, 0),
+            item,
+            stamped_true if stamped_true is not None else ts,
+        )
+
+
+class TestPassthroughOrdering:
+    def build(self):
+        return InboundHarness(
+            lambda h: PassthroughOrdering(
+                h.sim, h.clock, h._drain, on_sample=h.samples.append
+            )
+        )
+
+    def test_genuine_fifo_ignores_timestamps(self):
+        # Arrival order 30, 10, 20 by timestamp: a d_s=0 sequencer
+        # would still timestamp-sort a backlog; the noop FIFO must not.
+        h = self.build()
+        for t, ts in ((1_000, 30), (2_000, 10), (3_000, 20)):
+            h.enqueue_at(t, ts=ts, item=ts)
+        h.sim.run()
+        assert [item for item, _ in h.released] == [30, 10, 20]
+        # Zero hold: released at the arrival instant.
+        assert [t for _, t in h.released] == [1_000, 2_000, 3_000]
+
+    def test_unfairness_accounting_matches_sequencer_semantics(self):
+        h = self.build()
+        for t, ts in ((1_000, 30), (2_000, 10), (3_000, 20)):
+            h.enqueue_at(t, ts=ts, item=ts)
+        h.sim.run()
+        # 10 < 30 ooseq; 20 > 10 (preceding) not ooseq.
+        assert [s.out_of_sequence for s in h.samples] == [False, True, False]
+        assert h.ordering.inbound_unfairness_ratio() == pytest.approx(1 / 3)
+        assert h.ordering.delay_ns == 0
+        assert h.ordering.pending() == 0
+
+    def test_backlog_stays_in_arrival_order(self):
+        h = self.build()
+        collected = []
+        h.ordering.on_eligible = lambda: None  # busy consumer
+        for t, ts in ((1_000, 50), (1_100, 40), (1_200, 60)):
+            h.enqueue_at(t, ts=ts, item=ts)
+        h.sim.run()
+        assert h.ordering.pending() == 3
+        assert h.ordering.pending_items() == [50, 40, 60]
+        while True:
+            item = h.ordering.pop_eligible()
+            if item is None:
+                break
+            collected.append(item)
+        assert collected == [50, 40, 60]
+
+
+class TestDelayBoundOrdering:
+    def build(self, window=16, guard_cap_ns=500_000):
+        return InboundHarness(
+            lambda h: DelayBoundOrdering(
+                h.sim, h.clock, h._drain, window=window,
+                guard_cap_ns=guard_cap_ns, on_sample=h.samples.append,
+            )
+        )
+
+    def test_gateway_clock_offset_cancels(self):
+        """The DBO claim: ordering is correct without clock sync.
+
+        Gateway b's clock runs 1 ms ahead, so its timestamps are
+        garbage relative to a's.  The sliding-window min lag absorbs
+        the offset, so releases follow true stamping order (zero true
+        unfairness) even though the *measured* ratio -- computed from
+        the skewed timestamps -- reports plenty of inversions.
+        """
+        h = self.build()
+        offset = 1_000_000
+        # (true send, gateway, path delay): constant per-gateway delays.
+        for true, gateway, delay in (
+            (1_000, "a", 100), (2_000, "b", 150), (3_000, "a", 100),
+            (4_000, "b", 150), (5_000, "a", 100),
+        ):
+            ts = true + (offset if gateway == "b" else 0)
+            h.enqueue_at(true + delay, ts=ts, gateway=gateway,
+                         item=true, stamped_true=true)
+        h.sim.run()
+        assert [item for item, _ in h.released] == [1_000, 2_000, 3_000, 4_000, 5_000]
+        assert h.ordering.out_of_sequence_true_count == 0
+        assert h.ordering.out_of_sequence_count == 2  # skewed-ts inversions
+
+    def test_cloudex_sequencer_breaks_under_same_offset(self):
+        """Contrast: timestamp-trusting hold misorders the same feed."""
+        h = InboundHarness(
+            lambda harness: Sequencer(
+                harness.sim, harness.clock, harness._drain, delay_ns=0,
+                on_sample=harness.samples.append,
+            )
+        )
+        offset = 1_000_000
+        for true, gateway, delay in (
+            (1_000, "a", 100), (2_000, "b", 150), (3_000, "a", 100),
+            (4_000, "b", 150), (5_000, "a", 100),
+        ):
+            ts = true + (offset if gateway == "b" else 0)
+            h.enqueue_at(true + delay, ts=ts, gateway=gateway,
+                         item=true, stamped_true=true)
+        h.sim.run()
+        assert h.ordering.out_of_sequence_true_count > 0
+
+    def test_guard_is_capped_worst_residual(self):
+        h = self.build(guard_cap_ns=500)
+        ordering = h.ordering
+        ordering.on_eligible = lambda: None
+        # Feed lags directly through enqueue: lag = now - ts.
+        h.enqueue_at(1_000, ts=900, item="a1", gateway="a")   # lag 100
+        h.enqueue_at(2_000, ts=1_600, item="a2", gateway="a")  # lag 400
+        h.sim.run()
+        assert ordering.guard_ns() == 300  # residual 400-100
+        assert ordering.delay_ns == 300  # shared diagnostic name
+        h.sim.schedule_at(3_000, ordering.enqueue, (2_100, "a", 0), "a3", 2_100)
+        h.sim.run()  # lag 900 -> residual 800, capped
+        assert ordering.guard_ns() == 500
+
+    def test_set_delay_is_inert(self):
+        h = self.build()
+        h.enqueue_at(1_000, ts=900, item="x")
+        h.sim.run()
+        before = h.ordering.delay_ns
+        h.ordering.set_delay(123_456)
+        assert h.ordering.delay_ns == before
+
+
+class TestPfoCalibration:
+    def test_deterministic_in_seed(self):
+        config = config_for("pfo")
+        a, b = PfoPolicy(), PfoPolicy()
+        assert a.inbound_hold_ns(config, RngRegistry(7)) == b.inbound_hold_ns(
+            config, RngRegistry(7)
+        )
+        assert a.outbound_hold_ns(config, RngRegistry(7)) == b.outbound_hold_ns(
+            config, RngRegistry(7)
+        )
+
+    def test_cached_after_first_call(self):
+        config = config_for("pfo")
+        policy = PfoPolicy()
+        rngs = RngRegistry(7)
+        first = policy.inbound_hold_ns(config, rngs)
+        # Second call must not draw again (exhausting or shifting the
+        # stream would perturb later draws).
+        state = rngs.stream("fairness:pfo:calibration").bit_generator.state
+        assert policy.inbound_hold_ns(config, rngs) == first
+        assert rngs.stream("fairness:pfo:calibration").bit_generator.state == state
+
+    def test_higher_threshold_holds_longer(self):
+        low = PfoPolicy().inbound_hold_ns(
+            config_for("pfo", pfo_threshold=0.5), RngRegistry(7)
+        )
+        high = PfoPolicy().inbound_hold_ns(
+            config_for("pfo", pfo_threshold=0.99), RngRegistry(7)
+        )
+        assert high > low
+
+    def test_more_gateways_hold_longer(self):
+        few = PfoPolicy().inbound_hold_ns(
+            config_for("pfo", n_gateways=2), RngRegistry(7)
+        )
+        many = PfoPolicy().inbound_hold_ns(
+            config_for("pfo", n_gateways=8), RngRegistry(7)
+        )
+        assert many >= few
+
+    def test_engine_hold_is_outbound_quantile(self):
+        config = config_for("pfo")
+        policy = PfoPolicy()
+        rngs = RngRegistry(7)
+        assert policy.engine_hold_ns(config, rngs) == policy.outbound_hold_ns(config, rngs)
+        assert policy.engine_hold_ns(config, rngs) > 0
+
+
+class TestFactoryProducts:
+    def build_inbound(self, policy, config, rngs):
+        sim = Simulator()
+        clock = HostClock(sim)
+        return policy.build_inbound(
+            sim=sim, clock=clock, on_eligible=lambda: None, config=config,
+            rngs=rngs, shard_id=0,
+        )
+
+    def build_outbound(self, policy, config, rngs):
+        sim = Simulator()
+        clock = HostClock(sim)
+        return policy.build_outbound(
+            sim=sim, clock=clock, gateway_id="g00",
+            release=lambda piece, t: None, report=lambda r: None,
+            config=config, rngs=rngs,
+        )
+
+    def test_cloudex_builds_stock_mechanisms_and_consumes_no_rng(self):
+        config = config_for("cloudex")
+        rngs = RngRegistry(7)
+        policy = CloudExPolicy()
+        inbound = self.build_inbound(policy, config, rngs)
+        outbound = self.build_outbound(policy, config, rngs)
+        assert isinstance(inbound, Sequencer)
+        assert inbound.delay_ns == config.sequencer_delay_ns
+        assert isinstance(outbound, HoldReleaseBuffer)
+        assert policy.engine_hold_ns(config, rngs) == config.holdrelease_delay_ns
+        # Bit-identity guard: the cloudex path must never touch RNG.
+        assert not rngs._streams  # no streams touched
+
+    def test_noop_builds_passthroughs(self):
+        config = config_for("noop")
+        policy = NoopPolicy()
+        rngs = RngRegistry(7)
+        assert isinstance(self.build_inbound(policy, config, rngs), PassthroughOrdering)
+        assert isinstance(self.build_outbound(policy, config, rngs), ImmediateRelease)
+        assert policy.engine_hold_ns(config, rngs) == 0
+
+    def test_dbo_builds_delay_bounds_with_immediate_outbound(self):
+        config = config_for("dbo", dbo_guard_cap_us=100.0)
+        policy = DboPolicy()
+        rngs = RngRegistry(7)
+        inbound = self.build_inbound(policy, config, rngs)
+        assert isinstance(inbound, DelayBoundOrdering)
+        assert inbound.guard_cap_ns == 100_000
+        assert isinstance(self.build_outbound(policy, config, rngs), ImmediateRelease)
+        assert policy.engine_hold_ns(config, rngs) == 0
+        assert not rngs._streams  # no streams touched
+
+    def test_pfo_builds_stock_mechanisms_with_calibrated_delays(self):
+        config = config_for("pfo")
+        policy = PfoPolicy()
+        rngs = RngRegistry(7)
+        inbound = self.build_inbound(policy, config, rngs)
+        assert isinstance(inbound, Sequencer)
+        assert inbound.delay_ns == policy.inbound_hold_ns(config, rngs)
+        assert isinstance(self.build_outbound(policy, config, rngs), HoldReleaseBuffer)
+
+
+def md_piece(seq=1, created=0, release_at=10_000):
+    return MarketDataPiece(
+        seq=seq, symbol="S", payload=object(), created_local=created,
+        release_at=release_at,
+    )
+
+
+class TestImmediateRelease:
+    def build(self):
+        sim = Simulator()
+        clock = HostClock(sim)
+        releases, reports = [], []
+        buffer = ImmediateRelease(
+            sim, clock, "g00",
+            release=lambda piece, t: releases.append((piece.seq, sim.now)),
+            report=reports.append,
+        )
+        return sim, buffer, releases, reports
+
+    def test_releases_on_arrival_even_before_release_at(self):
+        sim, buffer, releases, reports = self.build()
+        sim.schedule_at(5_000, buffer.offer, md_piece(seq=1, release_at=10_000))
+        sim.run()
+        assert releases == [(1, 5_000)]
+        assert reports[0].late is False
+        assert reports[0].hold_ns == 0
+        assert buffer.late_ratio() == 0.0
+
+    def test_exactly_at_release_at_is_on_time(self):
+        # The PR-3 boundary, preserved across backends.
+        sim, buffer, releases, reports = self.build()
+        sim.schedule_at(10_000, buffer.offer, md_piece(seq=1, release_at=10_000))
+        sim.run()
+        assert reports[0].late is False
+        assert reports[0].lateness_ns == 0
+
+    def test_strictly_after_release_at_is_late(self):
+        sim, buffer, releases, reports = self.build()
+        sim.schedule_at(10_001, buffer.offer, md_piece(seq=1, release_at=10_000))
+        sim.run()
+        assert reports[0].late is True
+        assert reports[0].lateness_ns == 1
+        assert buffer.late_count == 1
+        assert buffer.late_ratio() == 1.0
+
+    def test_flush_is_empty_and_mean_hold_zero(self):
+        sim, buffer, releases, _ = self.build()
+        sim.schedule_at(1_000, buffer.offer, md_piece(seq=1))
+        sim.run()
+        assert buffer.flush() == 0
+        assert buffer.mean_hold_us() == 0.0
+        assert releases  # nothing was retracted by flush

@@ -129,7 +129,7 @@ class TestEnvelope:
     def test_unknown_kind_rejected(self):
         with pytest.raises(JobError, match="kind"):
             normalize_job({"kind": "train"})
-        assert JOB_KINDS == ("sweep", "chaos", "bench")
+        assert JOB_KINDS == ("sweep", "chaos", "bench", "fairness")
 
     def test_unknown_schema_rejected(self):
         with pytest.raises(JobError, match="schema"):

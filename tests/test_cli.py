@@ -35,7 +35,9 @@ class TestParser:
     def test_help_lists_every_subcommand(self, capsys):
         # The full subcommand surface, pinned: adding one means adding
         # it here, to the dispatcher, and to the --help epilog.
-        assert SUBCOMMANDS == ("trace", "chaos", "bench", "sweep", "serve", "verify-pack")
+        assert SUBCOMMANDS == (
+            "trace", "chaos", "bench", "sweep", "fairness", "serve", "verify-pack"
+        )
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
         out = capsys.readouterr().out
