@@ -28,6 +28,12 @@ the cloudex/dbo/pfo/noop backends head-to-head across clock regimes
 and chaos scenarios under identical seeds, emitting a deterministic
 frontier document; see ``python -m repro fairness --help``.
 
+``python -m repro shardrun`` runs the batched sharded kernel: bulk
+numpy order generation, batched matching, and conservative-sync
+windows across optional worker processes whose reports are
+byte-identical to the inline run; see ``python -m repro shardrun
+--help``.
+
 ``python -m repro serve`` runs the exchange-as-a-service control
 plane: an authenticated HTTP API that accepts sweep/chaos/bench job
 submissions, executes them on the experiment pool, and serves signed
@@ -53,7 +59,7 @@ from repro.core.config import CloudExConfig
 
 #: Every subcommand, in help order.  ``python -m repro --help`` lists
 #: exactly these; the CLI test suite pins the list.
-SUBCOMMANDS = ("trace", "chaos", "bench", "sweep", "fairness", "serve", "verify-pack")
+SUBCOMMANDS = ("trace", "chaos", "bench", "sweep", "fairness", "shardrun", "serve", "verify-pack")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
             "               worker pool with caching and deterministic output\n"
             "  fairness     run the fairness-policy frontier study (cloudex vs\n"
             "               dbo vs pfo vs noop under identical seeds and chaos)\n"
+            "  shardrun     run the batched sharded kernel (bulk-generated flow,\n"
+            "               conservative-sync windows, optional --jobs processes\n"
+            "               with byte-identical reports)\n"
             "  serve        run the exchange-as-a-service HTTP control plane:\n"
             "               submit sweep/chaos/bench jobs, download signed\n"
             "               evidence packs\n"
@@ -286,6 +295,10 @@ def main(argv=None) -> int:
             from repro.fairness.cli import fairness_main
 
             return fairness_main(rest)
+        if name == "shardrun":
+            from repro.core.shardrun import shardrun_main
+
+            return shardrun_main(rest)
         if name == "serve":
             from repro.serve.cli import serve_main
 

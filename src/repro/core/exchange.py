@@ -743,8 +743,11 @@ class CentralExchangeServer(Actor):
             release_at=now_local + self.d_h,
         )
         self.metrics.register_md_piece(piece.seq, len(self._md_gateways))
-        for gateway in self._md_gateways:
-            self.network.send(self.name, gateway, piece)
+        # One piece fans out to every MD gateway: bulk-schedule the
+        # train (bit-identical to a send loop, one heap pass).
+        self.network.send_many(
+            self.name, [(gateway, piece) for gateway in self._md_gateways]
+        )
 
     def _snapshot_tick(self) -> None:
         now_local = self.clock.now()

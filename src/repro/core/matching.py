@@ -28,6 +28,54 @@ from repro.core.types import OrderStatus, OrderType, RejectReason, Symbol, TimeI
 
 
 @dataclass
+class BatchMatchStats:
+    """Aggregate outcome of a :meth:`MatchingEngineCore.process_batch`.
+
+    Field semantics mirror the scalar path's per-order confirmation
+    statuses exactly, so a batch's tallies equal the status histogram a
+    ``process_order`` loop would have produced (pinned by differential
+    tests): ``rejected`` counts unknown-symbol / duplicate-id rejects
+    plus market orders that found no liquidity; ``cancelled`` counts
+    unfilled IOC orders; ``filled`` / ``partially_filled`` / ``accepted``
+    follow ``OrderStatus``.
+    """
+
+    orders: int = 0
+    accepted: int = 0
+    partially_filled: int = 0
+    filled: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    trades: int = 0
+    traded_qty: int = 0
+    notional: int = 0
+
+    def merge(self, other: "BatchMatchStats") -> None:
+        self.orders += other.orders
+        self.accepted += other.accepted
+        self.partially_filled += other.partially_filled
+        self.filled += other.filled
+        self.cancelled += other.cancelled
+        self.rejected += other.rejected
+        self.trades += other.trades
+        self.traded_qty += other.traded_qty
+        self.notional += other.notional
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "orders": self.orders,
+            "accepted": self.accepted,
+            "partially_filled": self.partially_filled,
+            "filled": self.filled,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "trades": self.trades,
+            "traded_qty": self.traded_qty,
+            "notional": self.notional,
+        }
+
+
+@dataclass
 class MatchResult:
     """Everything one order produced: a confirmation, zero or more
     trades, the per-counterparty trade confirmations, and any resting
@@ -132,6 +180,129 @@ class MatchingEngineCore:
             trade_confirmations=trade_confs,
             stp_cancels=stp_cancels,
         )
+
+    def process_batch(
+        self,
+        orders: List[Order],
+        times: List[int],
+        on_trade=None,
+        settle: bool = True,
+    ) -> BatchMatchStats:
+        """Match a pre-ordered batch of orders without per-order results.
+
+        Behaviourally equivalent to ``process_order(order, t)`` for each
+        ``(order, t)`` pair in sequence -- same book mutations, same
+        trade-id consumption, same ``last_trade_price`` updates, same
+        settlement -- but skips the per-order ``OrderConfirmation`` /
+        ``TradeConfirmation`` / ``MatchResult`` allocations, which are
+        most of the scalar path's cost once the network layer is out of
+        the picture.  This is the batched kernel's inner loop
+        (:mod:`repro.core.shardrun`); the differential tests pin the
+        equivalence.
+
+        Parameters
+        ----------
+        orders, times:
+            Parallel sequences; ``times[i]`` is the engine-local
+            timestamp for ``orders[i]`` (the batch must already be in
+            processing order -- the caller owns sequencing).
+        on_trade:
+            Optional callback ``(symbol, price, quantity, buyer, seller)``
+            invoked per execution with the two :class:`Order` objects --
+            the hook the shard runner uses for bucketed accounting.
+        settle:
+            When False, trades are not applied to the portfolio matrix
+            (the shard runner settles through its own bucket accounting
+            instead).  Trade ids are consumed either way so the id
+            stream stays identical across modes.
+
+        The risk-policy / circuit-breaker / self-trade-prevention paths
+        need the full per-order machinery; configuring any of them makes
+        this method raise ``ValueError``.
+        """
+        if (
+            self.risk_policy is not None
+            or self.circuit_breaker is not None
+            or self.self_trade_prevention
+        ):
+            raise ValueError(
+                "process_batch supports the plain core only; risk policy, "
+                "circuit breaker, and STP require process_order"
+            )
+        stats = BatchMatchStats()
+        books = self.books
+        trade_ids = self._trade_ids
+        portfolio = self.portfolio
+        last_trade_price = self.last_trade_price
+        market = OrderType.MARKET
+        gtc = TimeInForce.GTC
+        ioc = TimeInForce.IOC
+        for order, now_local in zip(orders, times):
+            stats.orders += 1
+            book = books.get(order.symbol)
+            if book is None or book.is_resting(order.participant_id, order.client_order_id):
+                stats.rejected += 1
+                continue
+            self.orders_processed += 1
+            side = order.side
+            limit = order.limit_price
+            is_buy = order.is_buy
+            symbol = order.symbol
+            opposite = book.side(side.opposite)
+            while order.remaining > 0 and book.crosses(side, limit):
+                level = opposite.best_level()
+                resting = level.front()
+                quantity = min(order.remaining, resting.remaining)
+                price = level.price
+                order.remaining -= quantity
+                resting.remaining -= quantity
+                if resting.remaining == 0:
+                    level.pop_front()
+                    book.forget(resting)
+                else:
+                    level.reduce(quantity)
+                trade_id = next(trade_ids)
+                last_trade_price[symbol] = price
+                stats.trades += 1
+                stats.traded_qty += quantity
+                stats.notional += price * quantity
+                buyer, seller = (order, resting) if is_buy else (resting, order)
+                if settle:
+                    portfolio.apply_trade(
+                        TradeRecord(
+                            trade_id=trade_id,
+                            symbol=symbol,
+                            price=price,
+                            quantity=quantity,
+                            buyer=buyer.participant_id,
+                            seller=seller.participant_id,
+                            buy_client_order_id=buyer.client_order_id,
+                            sell_client_order_id=seller.client_order_id,
+                            executed_local=now_local,
+                            aggressor_is_buy=is_buy,
+                        )
+                    )
+                if on_trade is not None:
+                    on_trade(symbol, price, quantity, buyer, seller)
+            if order.order_type is market:
+                if order.remaining == order.quantity:
+                    stats.rejected += 1  # NO_LIQUIDITY in the scalar path
+                elif order.remaining == 0:
+                    stats.filled += 1
+                else:
+                    stats.partially_filled += 1
+            else:
+                if order.remaining > 0 and order.time_in_force is gtc:
+                    book.add_resting(order)
+                if order.remaining == 0:
+                    stats.filled += 1
+                elif order.remaining < order.quantity:
+                    stats.partially_filled += 1
+                elif order.time_in_force is ioc:
+                    stats.cancelled += 1
+                else:
+                    stats.accepted += 1
+        return stats
 
     def _match(
         self, order: Order, book: LimitOrderBook, now_local: int

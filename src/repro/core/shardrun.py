@@ -1,0 +1,453 @@
+"""Batched, sharded in-run execution: the scale-out kernel.
+
+``python -m repro shardrun`` runs the paper's §3 symbol-sharded
+matching engine at a scale the event-driven cluster cannot reach: each
+shard is a *batched shard program* -- the same
+:class:`~repro.core.matching.MatchingEngineCore` an
+:class:`~repro.core.exchange.EngineShard` drives, but fed by
+numpy-bulk-generated order streams (:class:`repro.traders.workload.BulkOrderStream`)
+through :meth:`~repro.core.matching.MatchingEngineCore.process_batch`
+instead of one network event per message.  Participants are array
+indices, so a million of them cost no more than a thousand; run cost
+scales with aggregate order count.
+
+Time is cut into conservative-synchronization windows of length
+``lookahead_ns`` (see :meth:`ShardRunConfig.lookahead_ns`): within a
+window, shards are causally independent -- the only cross-shard
+influence is the global price index computed at the previous barrier,
+mirroring how market data published every ``md_publish_interval_ms``
+is the only cross-symbol coupling in the event-driven cluster.  At
+each barrier the coordinator merges per-shard tallies **in shard-id
+order**, computes the next index, and broadcasts it; shards blend it
+into their per-symbol price centers, so the feedback is genuinely
+load-bearing (prices correlate across shards) and the run is a real
+conservative-sync problem, not embarrassingly parallel.
+
+Determinism: a shard's computation depends only on ``(config,
+shard_id, feedback history)``.  ``--jobs 1`` runs the identical
+windowed protocol inline and is the golden baseline; any ``--jobs N``
+process run emits byte-identical report JSON (pinned by tests and the
+CI bench-smoke job).  Inside a shard, ordering is owned by the
+simulator heap: every order's gateway-stamped delivery is
+bulk-scheduled (:meth:`~repro.sim.engine.Simulator.schedule_message_bulk`)
+and popped in ``(stamp, seq)`` order, which also carries late-stamped
+orders across window boundaries for free.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time as _time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cliutil import EXIT_OK, emit_json
+from repro.core.matching import BatchMatchStats, MatchingEngineCore
+from repro.core.order import Order
+from repro.core.portfolio import PortfolioMatrix
+from repro.core.sharding import SymbolRouter
+from repro.core.types import OrderType, Side, TimeInForce
+from repro.sim.engine import Simulator
+from repro.sim.parallel import ConservativeShardRunner
+from repro.sim.rng import RngRegistry
+from repro.traders.workload import BulkOrderStream
+
+
+@dataclass(frozen=True)
+class ShardRunConfig:
+    """Everything that identifies a sharded batched run.
+
+    Two runs with equal configs produce byte-identical reports at any
+    ``jobs``; the config is echoed into the report verbatim.
+    """
+
+    seed: int = 2021
+    n_participants: int = 1_000_000
+    n_symbols: int = 10
+    n_shards: int = 10
+    rate_per_participant_s: float = 0.45
+    duration_s: float = 2.0
+    initial_price: int = 10_000
+    price_sigma_ticks: float = 15.0
+    aggression: float = 0.18
+    market_order_fraction: float = 0.05
+    min_qty: int = 1
+    max_qty: int = 100
+    gateway_base_latency_us: float = 80.0
+    gateway_jitter_shape: float = 0.7
+    gateway_jitter_scale_us: float = 30.0
+    md_publish_interval_ms: float = 10.0
+    portfolio_buckets: int = 64
+    chunk: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1 or self.n_shards > self.n_symbols:
+            raise ValueError(
+                f"n_shards must be in [1, n_symbols={self.n_symbols}], got {self.n_shards}"
+            )
+        if self.n_participants < 1:
+            raise ValueError(f"need participants, got {self.n_participants}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.portfolio_buckets < 1:
+            raise ValueError(f"need at least one bucket, got {self.portfolio_buckets}")
+
+    def symbol_universe(self) -> Tuple[str, ...]:
+        return tuple(f"SYM{i:03d}" for i in range(self.n_symbols))
+
+    def lookahead_ns(self) -> int:
+        """Conservative-sync window length.
+
+        A shard's local matching inside ``(t, t + W]`` can only be
+        influenced by remote shards through the market-data index
+        published at the window boundary, so the window may safely be
+        as long as the publish interval plus the minimum inbound and
+        outbound propagation floors -- the same "lookahead = minimum
+        link latency" argument as Chandy-Misra null messages, with the
+        publish interval dominating.
+        """
+        publish_ns = int(self.md_publish_interval_ms * 1_000_000)
+        floor_ns = int(self.gateway_base_latency_us * 1_000)
+        return publish_ns + 2 * floor_ns
+
+    def duration_ns(self) -> int:
+        return int(self.duration_s * 1_000_000_000)
+
+    def n_windows(self) -> int:
+        window = self.lookahead_ns()
+        return -(-self.duration_ns() // window)  # ceil
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {key: value for key, value in sorted(asdict(self).items())}
+
+
+class ShardProgram:
+    """One shard of the batched run: a symbol subset, its own bulk
+    order stream and RNG streams, a simulator for stamp ordering, and a
+    plain :class:`MatchingEngineCore`.
+
+    The per-shard RNG streams are named ``shardrun:<shard>:*`` from the
+    run's master seed, so a shard's workload depends on its id, never
+    on worker placement or count.
+    """
+
+    def __init__(self, config: ShardRunConfig, shard_id: int) -> None:
+        self.config = config
+        self.shard_id = shard_id
+        router = SymbolRouter(config.symbol_universe(), config.n_shards)
+        self.symbols: Tuple[str, ...] = router.symbols_of(shard_id)
+        self._sym_index = {symbol: j for j, symbol in enumerate(self.symbols)}
+        rngs = RngRegistry(config.seed)
+        # The shard generates the merged flow of the whole participant
+        # population restricted to its symbols: rate is apportioned by
+        # symbol share, participants are global array indices.
+        shard_rate = (
+            config.n_participants
+            * config.rate_per_participant_s
+            * len(self.symbols)
+            / config.n_symbols
+        )
+        self.stream = BulkOrderStream(
+            arrivals_rng=rngs.stream(f"shardrun:{shard_id}:arrivals"),
+            fields_rng=rngs.stream(f"shardrun:{shard_id}:fields"),
+            n_participants=config.n_participants,
+            rate_per_s=shard_rate,
+            n_symbols=len(self.symbols),
+            min_qty=config.min_qty,
+            max_qty=config.max_qty,
+            aggression=config.aggression,
+            market_order_fraction=config.market_order_fraction,
+            price_sigma_ticks=config.price_sigma_ticks,
+            latency_base_ns=int(config.gateway_base_latency_us * 1_000),
+            latency_jitter_shape=config.gateway_jitter_shape,
+            latency_jitter_scale_ns=config.gateway_jitter_scale_us * 1_000.0,
+            chunk=config.chunk,
+        )
+        self.core = MatchingEngineCore(self.symbols, PortfolioMatrix())
+        self.sim = Simulator()
+        self.stats = BatchMatchStats()
+        self.windows = 0
+        # Eligible order indices, appended by the simulator in
+        # (stamp, seq) order.  One persistent list: heap entries hold a
+        # bound .append, so the object must never be rebound.
+        self._eligible: List[int] = []
+        self._centers = [config.initial_price] * len(self.symbols)
+        # Column store for every generated order, indexed by global
+        # arrival id (python lists: O(1) lookup, ints unboxed once).
+        self._col_symbol: List[int] = []
+        self._col_side: List[bool] = []
+        self._col_qty: List[int] = []
+        self._col_market: List[bool] = []
+        self._col_offset: List[int] = []
+        self._col_pid: List[int] = []
+        self._col_stamp: List[int] = []
+        # Bucketed settlement: participant pid settles into bucket
+        # pid % portfolio_buckets -- per-(bucket, symbol) positions and
+        # per-bucket cash, conserved exactly by construction.
+        self._n_buckets = config.portfolio_buckets
+        self._bucket_pos = [0] * (self._n_buckets * len(self.symbols))
+        self._bucket_cash = [0] * self._n_buckets
+        self._window_volume = 0
+        self._window_value = 0
+
+    # ------------------------------------------------------------------
+    # Window protocol
+    # ------------------------------------------------------------------
+    def run_window(self, index: int, t_end: int, feedback: Optional[Dict[str, Any]]) -> Dict[str, int]:
+        """Advance this shard to ``t_end`` and return window tallies."""
+        self.windows += 1
+        # 1. Refresh per-symbol price centers: local last trade price
+        # blended 3:1 with the global index from the previous barrier --
+        # the cross-shard coupling that makes the sync load-bearing.
+        global_index = feedback.get("index") if feedback else None
+        last = self.core.last_trade_price
+        centers = self._centers
+        for j, symbol in enumerate(self.symbols):
+            local = last.get(symbol, centers[j])
+            centers[j] = local if global_index is None else (3 * local + global_index) // 4
+        # 2. Pull this window's arrivals and bulk-schedule their
+        # gateway-stamped deliveries.
+        start, times, fields = self.stream.take_until(t_end)
+        if len(times):
+            self._col_symbol.extend(fields["symbol"].tolist())
+            self._col_side.extend(fields["side_buy"].tolist())
+            self._col_qty.extend(fields["qty"].tolist())
+            self._col_market.extend(fields["market"].tolist())
+            self._col_offset.extend(fields["offset"].tolist())
+            self._col_pid.extend(fields["participant"].tolist())
+            stamps = fields["stamp"].tolist()
+            self._col_stamp.extend(stamps)
+            append = self._eligible.append
+            self.sim.schedule_message_bulk(
+                [(stamp, append, start + i) for i, stamp in enumerate(stamps)]
+            )
+        # 3. The heap orders deliveries by (stamp, seq) and carries
+        # late-stamped orders across windows automatically.
+        self.sim.run(until=t_end)
+        # 4. Batch-match everything that became eligible.
+        batch = self._eligible
+        stats = self.core.process_batch(
+            self._build_orders(batch), [self._col_stamp[i] for i in batch],
+            on_trade=self._on_trade, settle=False,
+        )
+        batch.clear()
+        self.stats.merge(stats)
+        result = {
+            "orders": stats.orders,
+            "trades": stats.trades,
+            "volume": self._window_volume,
+            "value": self._window_value,
+        }
+        self._window_volume = 0
+        self._window_value = 0
+        return result
+
+    def _build_orders(self, batch: List[int]) -> List[Order]:
+        symbols = self.symbols
+        centers = self._centers
+        col_symbol = self._col_symbol
+        col_side = self._col_side
+        col_qty = self._col_qty
+        col_market = self._col_market
+        col_offset = self._col_offset
+        col_pid = self._col_pid
+        col_stamp = self._col_stamp
+        buy, sell = Side.BUY, Side.SELL
+        limit_t, market_t = OrderType.LIMIT, OrderType.MARKET
+        gtc = TimeInForce.GTC
+        n_buckets = self._n_buckets
+        orders = []
+        append = orders.append
+        for i in batch:
+            j = col_symbol[i]
+            qty = col_qty[i]
+            pid = col_pid[i]
+            if col_market[i]:
+                order_type, price = market_t, None
+            else:
+                price = centers[j] + col_offset[i]
+                if price < 1:
+                    price = 1
+                order_type = limit_t
+            order = Order.__new__(Order)
+            order.__dict__ = {
+                "client_order_id": i,
+                "participant_id": str(pid),
+                "symbol": symbols[j],
+                "side": buy if col_side[i] else sell,
+                "order_type": order_type,
+                "quantity": qty,
+                "limit_price": price,
+                "time_in_force": gtc,
+                "gateway_id": "B",
+                "gateway_timestamp": col_stamp[i],
+                "gateway_seq": i,
+                "remaining": qty,
+                "submitted_true": -1,
+                "stamped_true": col_stamp[i],
+                "bucket": pid % n_buckets,
+                "symbol_index": j,
+            }
+            append(order)
+        return orders
+
+    def _on_trade(self, symbol: str, price: int, quantity: int, buyer: Order, seller: Order) -> None:
+        notional = price * quantity
+        self._window_volume += quantity
+        self._window_value += notional
+        j = buyer.__dict__["symbol_index"]
+        pos = self._bucket_pos
+        n_symbols = len(self.symbols)
+        pos[buyer.__dict__["bucket"] * n_symbols + j] += quantity
+        pos[seller.__dict__["bucket"] * n_symbols + j] -= quantity
+        cash = self._bucket_cash
+        cash[buyer.__dict__["bucket"]] -= notional
+        cash[seller.__dict__["bucket"]] += notional
+
+    def finish(self) -> Dict[str, Any]:
+        """Final per-shard summary (deterministic fields only)."""
+        return {
+            "shard": self.shard_id,
+            "symbols": len(self.symbols),
+            "windows": self.windows,
+            "arrivals": self.stream.emitted,
+            "unprocessed": self.sim.pending(),
+            "stats": self.stats.to_dict(),
+            "last_prices": {
+                symbol: self.core.last_trade_price[symbol]
+                for symbol in self.symbols
+                if symbol in self.core.last_trade_price
+            },
+            "net_position": sum(self._bucket_pos),
+            "abs_position": sum(abs(p) for p in self._bucket_pos),
+            "net_cash": sum(self._bucket_cash),
+            "abs_cash": sum(abs(c) for c in self._bucket_cash),
+        }
+
+
+def _make_shard(config: ShardRunConfig, shard_id: int) -> ShardProgram:
+    """Module-level factory (picklable for the spawn fallback)."""
+    return ShardProgram(config, shard_id)
+
+
+def run_shardrun(
+    config: ShardRunConfig,
+    jobs: int = 1,
+    timeout_s: float = 600.0,
+) -> Dict[str, Any]:
+    """Run the batched sharded kernel and return the report document.
+
+    The report contains deterministic fields only -- no wall-clock --
+    so serializing it yields byte-identical JSON for equal configs at
+    any ``jobs``.
+    """
+    window_ns = config.lookahead_ns()
+    duration_ns = config.duration_ns()
+    n_windows = config.n_windows()
+    runner = ConservativeShardRunner(
+        _make_shard, (config,), config.n_shards, jobs=jobs, timeout_s=timeout_s
+    )
+    try:
+        index = config.initial_price
+        index_path: List[int] = []
+        feedback: Dict[str, Any] = {"index": None}
+        for w in range(n_windows):
+            t_end = min((w + 1) * window_ns, duration_ns)
+            results = runner.window(w, t_end, feedback)
+            volume = sum(r["volume"] for r in results)
+            value = sum(r["value"] for r in results)
+            if volume:
+                index = value // volume
+            index_path.append(index)
+            feedback = {"index": index}
+        finals = runner.finish()
+    finally:
+        runner.close()
+    totals = BatchMatchStats()
+    for final in finals:
+        totals.merge(BatchMatchStats(**final["stats"]))
+    return {
+        "schema": "repro-shardrun/1",
+        "config": config.to_dict(),
+        "lookahead_ns": window_ns,
+        "windows": n_windows,
+        "totals": {
+            **totals.to_dict(),
+            "arrivals": sum(final["arrivals"] for final in finals),
+            "unprocessed": sum(final["unprocessed"] for final in finals),
+        },
+        "index_path": index_path,
+        "per_shard": finals,
+        "conservation": {
+            "net_position": sum(final["net_position"] for final in finals),
+            "net_cash": sum(final["net_cash"] for final in finals),
+            "abs_position": sum(final["abs_position"] for final in finals),
+            "abs_cash": sum(final["abs_cash"] for final in finals),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def build_shardrun_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro shardrun",
+        description=(
+            "Run the batched, sharded matching kernel (conservative-sync "
+            "windows, bulk-generated ZI flow) and print throughput.  "
+            "--jobs N runs shards in separate processes; the report is "
+            "byte-identical to --jobs 1."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--participants", type=int, default=100_000)
+    parser.add_argument("--symbols", type=int, default=10)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--rate", type=float, default=0.45, help="orders/s per participant")
+    parser.add_argument("--duration", type=float, default=0.5, metavar="SECONDS")
+    parser.add_argument("--buckets", type=int, default=64, help="portfolio accounting buckets")
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = inline)")
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the deterministic report as JSON (no PATH = stdout)",
+    )
+    return parser
+
+
+def shardrun_main(argv=None) -> int:
+    args = build_shardrun_parser().parse_args(argv)
+    config = ShardRunConfig(
+        seed=args.seed,
+        n_participants=args.participants,
+        n_symbols=args.symbols,
+        n_shards=args.shards,
+        rate_per_participant_s=args.rate,
+        duration_s=args.duration,
+        portfolio_buckets=args.buckets,
+    )
+    started = _time.perf_counter()
+    report = run_shardrun(config, jobs=args.jobs)
+    wall_s = _time.perf_counter() - started
+    totals = report["totals"]
+    orders = totals["orders"]
+    print(
+        f"shardrun: {config.n_participants} participants, {config.n_symbols} symbols, "
+        f"{config.n_shards} shards, jobs={args.jobs}"
+    )
+    print(
+        f"  {report['windows']} windows x {report['lookahead_ns'] / 1e6:.2f} ms lookahead "
+        f"over {config.duration_s} s simulated"
+    )
+    print(
+        f"  {orders} orders, {totals['trades']} trades, {totals['traded_qty']} shares "
+        f"({totals['unprocessed']} stamped past the horizon)"
+    )
+    print(f"  wall {wall_s:.2f} s, {orders / wall_s:,.0f} orders/s processed")
+    if args.json is not None:
+        emit_json(report, args.json)
+    return EXIT_OK

@@ -393,6 +393,69 @@ def _macro_worker(item: Tuple[int, float, int]) -> Tuple[int, dict]:
     }
 
 
+def _shardrun_configs(quick: bool) -> "Dict[str, object]":
+    """The batched-kernel macro points.
+
+    ``shardrun_table1`` mirrors the Table-1 testbed economics (48
+    participants, 100 symbols, 4 shards, saturation rate) so its
+    wall-clock divides against the scalar ``table1_shards_4`` point --
+    that ratio is the suite's ``batched_speedup``.  ``shardrun_1m`` is
+    the scale demonstrator: a million participants over 10 symbols,
+    unreachable for the event-driven cluster, routine for the batched
+    kernel.
+    """
+    from repro.core.shardrun import ShardRunConfig
+
+    return {
+        "shardrun_table1": ShardRunConfig(
+            seed=2021,
+            n_participants=48,
+            n_symbols=100,
+            n_shards=4,
+            rate_per_participant_s=1_700.0,
+            duration_s=0.15 if quick else 0.6,
+            market_order_fraction=0.05,
+        ),
+        "shardrun_1m": ShardRunConfig(
+            seed=2021,
+            duration_s=0.1 if quick else 2.0,  # defaults: 1M participants, 10 symbols
+        ),
+    }
+
+
+def _shardrun_point(config) -> Tuple[float, dict]:
+    """One batched-kernel run; work fields are fully deterministic."""
+    from repro.core.shardrun import run_shardrun
+
+    start = time.perf_counter()
+    report = run_shardrun(config, jobs=1)
+    wall = time.perf_counter() - start
+    totals = report["totals"]
+    work = {
+        "participants": config.n_participants,
+        "shards": config.n_shards,
+        "sim_duration_s": config.duration_s,
+        "orders": totals["orders"],
+        "trades": totals["trades"],
+    }
+    return wall, work
+
+
+def _batched_speedup(benches: dict) -> Optional[float]:
+    """Orders-per-wall-second ratio: batched kernel vs scalar cluster
+    on the shared Table-1 economics.  The scalar side's order rate is
+    reconstructed from its simulated throughput and wall time."""
+    scalar = benches.get("table1_shards_4")
+    batched = benches.get("shardrun_table1")
+    if scalar is None or batched is None:
+        return None
+    scalar_orders_per_wall = (
+        scalar["work"]["throughput_per_s"] * scalar["work"]["sim_duration_s"] / scalar["wall_s"]
+    )
+    batched_orders_per_wall = batched["work"]["orders"] / batched["wall_s"]
+    return round(batched_orders_per_wall / scalar_orders_per_wall, 2)
+
+
 def run_macro_suite(quick: bool, repeats: int = 1, jobs: int = 1) -> dict:
     shard_counts = (1, 4) if quick else (1, 4, 8)
     duration_s = 0.15 if quick else 0.6
@@ -407,19 +470,35 @@ def run_macro_suite(quick: bool, repeats: int = 1, jobs: int = 1) -> dict:
                 "normalized": wall / calibration,
                 "work": work,
             }
-        doc["calibration_s"] = _median(
-            [entry["calibration_s"] for entry in doc["benches"].values()]
-        )
-        return doc
-    from repro.exp.pool import run_parallel
+    else:
+        from repro.exp.pool import run_parallel
 
-    items = [(shards, duration_s, repeats) for shards in shard_counts]
-    doc["calibration_s"] = None  # per-worker; see _macro_worker
-    for result in run_parallel(_macro_worker, items, jobs=jobs, retries=0):
-        if not result.ok:
-            raise RuntimeError(f"macro bench worker failed:\n{result.error}")
-        shards, entry = result.value
-        doc["benches"][f"table1_shards_{shards}"] = entry
+        items = [(shards, duration_s, repeats) for shards in shard_counts]
+        for result in run_parallel(_macro_worker, items, jobs=jobs, retries=0):
+            if not result.ok:
+                raise RuntimeError(f"macro bench worker failed:\n{result.error}")
+            shards, entry = result.value
+            doc["benches"][f"table1_shards_{shards}"] = entry
+    # The batched-kernel points always run inline: they are cheap, and
+    # their wall times feed the speedup ratio, which wants zero
+    # cross-process contention.
+    for name, config in _shardrun_configs(quick).items():
+        calibration = calibrate()
+        wall, work = _shardrun_point(config)
+        doc["benches"][name] = {
+            "wall_s": wall,
+            "calibration_s": calibration,
+            "normalized": wall / calibration,
+            "work": work,
+        }
+    doc["calibration_s"] = (
+        _median([entry["calibration_s"] for entry in doc["benches"].values()])
+        if jobs == 1
+        else None  # scalar points calibrated per worker; see _macro_worker
+    )
+    speedup = _batched_speedup(doc["benches"])
+    if speedup is not None:
+        doc["batched_speedup"] = speedup
     return doc
 
 
@@ -561,6 +640,11 @@ def _print_suite(doc: dict) -> None:
         print(
             f"  {name:<{width}}  {entry['wall_s'] * 1e3:9.1f} ms  "
             f"x{entry['normalized']:8.2f}  [{detail}]"
+        )
+    if doc.get("batched_speedup") is not None:
+        print(
+            f"  batched kernel vs scalar cluster (Table-1 economics): "
+            f"{doc['batched_speedup']:.1f}x orders/wall-second"
         )
 
 

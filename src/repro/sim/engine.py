@@ -16,7 +16,7 @@ wall-clock implementation could not time precisely (see DESIGN.md §4).
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence
 
 
 class Event:
@@ -168,6 +168,53 @@ class Simulator:
         self._seq += 1
         self._live += 1
 
+    def schedule_message_bulk(self, entries: "Sequence[tuple]") -> None:
+        """Schedule a train of ``fn(arg)`` deliveries in one call.
+
+        ``entries`` is a sequence of ``(time_ns, fn, arg)`` triples.
+        Semantically identical to calling :meth:`schedule_message` once
+        per entry in order -- the same sequence numbers are consumed
+        from the same counter, and heap pops are ordered purely by the
+        ``(time, priority, seq)`` key, so dispatch order (and therefore
+        the whole run) cannot depend on which path a train took.  What
+        changes is the heap maintenance: when the batch rivals the heap
+        in size, entries are appended and the heap is rebuilt once
+        (O(n + m)) instead of m sift-up pushes (O(m log n)) -- the
+        amortization the batched kernel (:mod:`repro.core.shardrun`)
+        relies on for its per-window order trains.
+
+        Validation happens before any entry is admitted, so a bad
+        timestamp leaves the simulator untouched.  Like
+        :meth:`schedule_message`, delegates to :meth:`schedule_at`
+        while a ``dispatch_hook`` is installed so profilers see a real
+        Event per delivery.
+        """
+        if self.dispatch_hook is not None:
+            for time_ns, fn, arg in entries:
+                self.schedule_at(time_ns, fn, arg)
+            return
+        now = self.now
+        for entry in entries:
+            if entry[0] < now:
+                raise SimulationError(
+                    f"cannot schedule at t={entry[0]} ns; simulation time is already {now} ns"
+                )
+        heap = self._heap
+        seq = self._seq
+        if len(entries) >= 8 and len(entries) * 4 >= len(heap):
+            append = heap.append
+            for time_ns, fn, arg in entries:
+                append((time_ns, 0, seq, (fn, arg)))
+                seq += 1
+            heapq.heapify(heap)
+        else:
+            heappush = heapq.heappush
+            for time_ns, fn, arg in entries:
+                heappush(heap, (time_ns, 0, seq, (fn, arg)))
+                seq += 1
+        self._live += seq - self._seq
+        self._seq = seq
+
     def schedule_fault(self, time_ns: int, fn: Callable[..., None], *args: Any) -> Event:
         """Schedule a fault transition (crash, partition, clock step).
 
@@ -219,11 +266,19 @@ class Simulator:
                 event = entry[3]
                 if type(event) is tuple:
                     # schedule_message fast-path entry: (fn, arg),
-                    # uncancellable, dispatched without hook checks
-                    # (schedule_message falls back to Events while a
-                    # dispatch_hook is installed).
+                    # uncancellable.  schedule_message falls back to
+                    # Events while a dispatch_hook is installed, so a
+                    # tuple entry can coexist with a hook only when the
+                    # hook was installed *after* the delivery was
+                    # scheduled.  Profilers must still see those
+                    # dispatches, so wrap the entry in a synthetic
+                    # one-shot Event; the no-hook hot path is unchanged.
                     self._live -= 1
                     self.now = event_time
+                    if self.dispatch_hook is not None:
+                        self.dispatch_hook(
+                            Event(event_time, 0, entry[2], event[0], (event[1],), None)
+                        )
                     event[0](event[1])
                     processed += 1
                     continue
@@ -248,27 +303,50 @@ class Simulator:
             self.now = until
 
     def step(self) -> bool:
-        """Run a single event.  Returns False when no events remain."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry[3]
-            if type(event) is tuple:
+        """Run a single event.  Returns False when no events remain.
+
+        Mirrors :meth:`run` semantics: calling ``step()`` re-entrantly
+        from inside an event handler raises :class:`SimulationError`,
+        and a prior :meth:`stop` request is honoured -- the next
+        ``step()`` consumes the request and returns False without
+        dispatching anything, exactly like ``run()`` breaking before
+        its next event.
+        """
+        if self._running:
+            raise SimulationError("step() called re-entrantly from within an event handler")
+        if self._stopped:
+            self._stopped = False
+            return False
+        self._running = True
+        try:
+            while self._heap:
+                entry = heapq.heappop(self._heap)
+                event = entry[3]
+                if type(event) is tuple:
+                    self._live -= 1
+                    self.now = entry[0]
+                    if self.dispatch_hook is not None:
+                        # See run(): tuple entries predate a mid-run
+                        # hook install; synthesize an Event for it.
+                        self.dispatch_hook(
+                            Event(entry[0], 0, entry[2], event[0], (event[1],), None)
+                        )
+                    event[0](event[1])
+                    self.events_processed += 1
+                    return True
+                event._in_heap = False
+                if event.cancelled:
+                    continue
                 self._live -= 1
                 self.now = entry[0]
-                event[0](event[1])
+                if self.dispatch_hook is not None:
+                    self.dispatch_hook(event)
+                event.fn(*event.args)
                 self.events_processed += 1
                 return True
-            event._in_heap = False
-            if event.cancelled:
-                continue
-            self._live -= 1
-            self.now = entry[0]
-            if self.dispatch_hook is not None:
-                self.dispatch_hook(event)
-            event.fn(*event.args)
-            self.events_processed += 1
-            return True
-        return False
+            return False
+        finally:
+            self._running = False
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current handler."""
@@ -280,7 +358,11 @@ class Simulator:
         return self._live
 
     def __repr__(self) -> str:
-        return f"Simulator(now={self.now}, pending={len(self._heap)})"
+        # ``self._live``, not ``len(self._heap)``: the heap still holds
+        # cancelled-but-unpopped entries, so its length can exceed the
+        # number of events that will actually fire.  The repr must agree
+        # with :meth:`pending`.
+        return f"Simulator(now={self.now}, pending={self._live})"
 
 
 class Actor:

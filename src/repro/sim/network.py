@@ -207,12 +207,19 @@ class Link:
     def blocked(self) -> bool:
         return self._blocked > 0
 
-    def send(self, payload: Any) -> Message:
-        """Sample a delay and schedule delivery at the destination.
+    def prepare(self, payload: Any) -> Tuple[Message, Optional[tuple]]:
+        """Everything :meth:`send` does except the scheduling itself.
 
-        A send from a downed source host, or over a partitioned link,
-        is dropped at the source: the Message is returned (callers need
-        the handle) but never scheduled for delivery.
+        Returns ``(message, entry)`` where ``entry`` is an
+        ``(arrival_ns, deliver, message)`` triple ready for
+        :meth:`~repro.sim.engine.Simulator.schedule_message` (or the
+        bulk variant), or ``None`` when the send was dropped at the
+        source (downed host, partitioned link).  Splitting preparation
+        from scheduling lets fanout sites collect a whole train of
+        deliveries and hand them to ``schedule_message_bulk`` in one
+        call -- the RNG draws, FIFO bumping, and counters happen here,
+        in per-call order, so a bulk-scheduled fanout is bit-identical
+        to a loop of sends.
         """
         now = self.sim.now
         message = Message(payload, self._src_name, self._dst_name, now)
@@ -220,12 +227,12 @@ class Link:
             self.src.dropped_sends_while_down += 1
             if self.src.drop_counter is not None:
                 self.src.drop_counter.inc()
-            return message
+            return message, None
         if self._blocked:
             self.dropped_partitioned += 1
             if self.partition_counter is not None:
                 self.partition_counter.inc()
-            return message
+            return message, None
         delay = self._sample(self.rng, now)
         if self._fault is not None:
             multiplier, extra_ns = self._fault
@@ -236,7 +243,18 @@ class Link:
         self._last_arrival = arrival
         self.messages_sent += 1
         self.total_delay_ns += arrival - now
-        self._schedule_message(arrival, self._deliver, message)
+        return message, (arrival, self._deliver, message)
+
+    def send(self, payload: Any) -> Message:
+        """Sample a delay and schedule delivery at the destination.
+
+        A send from a downed source host, or over a partitioned link,
+        is dropped at the source: the Message is returned (callers need
+        the handle) but never scheduled for delivery.
+        """
+        message, entry = self.prepare(payload)
+        if entry is not None:
+            self._schedule_message(entry[0], entry[1], entry[2])
         return message
 
     def mean_delay_us(self) -> float:
@@ -324,6 +342,32 @@ class Network:
         if link is None:
             raise KeyError(f"no link {src}->{dst}; call connect() first")
         return link.send(payload)
+
+    def send_many(self, src: str, sends: "List[Tuple[str, Any]]") -> List[Message]:
+        """Send a fanout train ``[(dst, payload), ...]`` from ``src``.
+
+        Semantically identical to calling :meth:`send` once per pair in
+        order -- each link's latency draws, FIFO bumping, and counters
+        happen per destination in the given order, and
+        ``schedule_message_bulk`` consumes the same sequence numbers a
+        send loop would -- but the simulator heap is maintained once
+        for the whole train instead of once per destination.  Built for
+        the market-data publish fanout, where one book event becomes
+        one message per MD gateway.
+        """
+        links = self.links
+        entries = []
+        messages = []
+        for dst, payload in sends:
+            link = links.get((src, dst))
+            if link is None:
+                raise KeyError(f"no link {src}->{dst}; call connect() first")
+            message, entry = link.prepare(payload)
+            messages.append(message)
+            if entry is not None:
+                entries.append(entry)
+        self.sim.schedule_message_bulk(entries)
+        return messages
 
     def host(self, name: str) -> Host:
         """Look up a host by name."""

@@ -35,6 +35,98 @@ class Strategy:
         """Called on every trade confirmation (a fill on our order)."""
 
 
+class PoissonArrivalStream:
+    """Chunked bulk generation of a merged Poisson arrival process.
+
+    The vectorized counterpart of :meth:`TradingAgent._next_gap`: one
+    stream models the merged order flow of many participants at an
+    aggregate ``rate_per_s``, drawing exponential gaps in fixed-size
+    chunks (the BufferedStream idea scaled from per-draw RNG to whole
+    message batches) and serving strictly increasing integer-ns arrival
+    times.  Gaps are clamped to >= 1 ns like the scalar agent's.
+
+    Chunking is part of the determinism contract of the batched kernel:
+    the draw sequence depends only on ``(rate, chunk)`` -- never on how
+    callers slice simulated time across :meth:`take_until` calls -- so
+    a windowed sharded run consumes this stream identically no matter
+    where the conservative-sync window boundaries fall.
+
+    ``field_factory(n)``, when given, is called once per chunk to draw
+    ``n`` rows of per-arrival payload columns; the arrays are sliced
+    along with the arrival times, keeping every payload draw aligned to
+    the same chunk boundaries (and therefore equally window-invariant).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        rate_per_s: float,
+        start_ns: int = 0,
+        chunk: int = 4096,
+        field_factory=None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.rng = rng
+        self.rate_per_s = rate_per_s
+        self.chunk = chunk
+        self.field_factory = field_factory
+        self._scale = SECOND / rate_per_s
+        self._last_ns = start_ns
+        self._times = np.empty(0, dtype=np.int64)
+        self._fields = None
+        self._pos = 0
+        self.generated = 0
+
+    def _refill(self) -> None:
+        gaps = np.maximum(1, self.rng.exponential(self._scale, size=self.chunk).astype(np.int64))
+        self._times = np.cumsum(gaps) + self._last_ns
+        self._last_ns = int(self._times[-1])
+        if self.field_factory is not None:
+            self._fields = self.field_factory(self.chunk)
+        self._pos = 0
+        self.generated += self.chunk
+
+    def take_until(self, t_end_ns: int):
+        """All arrivals strictly before ``t_end_ns`` not yet taken.
+
+        Returns ``times`` (int64 array) or ``(times, fields)`` when a
+        ``field_factory`` is attached.  Consecutive calls with
+        increasing horizons tile the stream without gaps or overlaps.
+        """
+        times_out = []
+        fields_out = []
+        while True:
+            if self._pos >= len(self._times):
+                self._refill()
+            rest = self._times[self._pos :]
+            idx = int(np.searchsorted(rest, t_end_ns, side="left"))
+            if idx == 0:
+                break
+            taken = slice(self._pos, self._pos + idx)
+            times_out.append(self._times[taken])
+            if self._fields is not None:
+                fields_out.append({key: col[taken] for key, col in self._fields.items()})
+            self._pos += idx
+            if self._pos < len(self._times):
+                break
+        times = (
+            np.concatenate(times_out) if times_out else np.empty(0, dtype=np.int64)
+        )
+        if self.field_factory is None:
+            return times
+        if fields_out:
+            fields = {
+                key: np.concatenate([chunk[key] for chunk in fields_out])
+                for key in fields_out[0]
+            }
+        else:
+            fields = {key: col[:0] for key, col in (self._fields or {}).items()}
+        return times, fields
+
+
 class TradingAgent:
     """Drives one participant's strategy with Poisson order arrivals.
 

@@ -9,10 +9,13 @@ from __future__ import annotations
 
 from typing import Callable, List, Sequence
 
+import numpy as np
+
 from repro.core.participant import Participant
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
-from repro.traders.base import Strategy, TradingAgent
+from repro.traders.base import PoissonArrivalStream, Strategy, TradingAgent
+from repro.traders.zi import zi_bulk_fields
 
 #: Builds a strategy for one participant: (participant index, its symbols) -> Strategy.
 StrategyFactory = Callable[[int, Sequence[str]], Strategy]
@@ -26,10 +29,17 @@ def split_symbols(
 ) -> List[List[str]]:
     """Deterministically assign each participant a symbol subset.
 
-    Every symbol gets at least one subscriber before any symbol gets a
-    second (round-robin base assignment), then remaining slots are
-    filled randomly -- so market data flows for the whole universe
-    while each participant works a small book.
+    The base assignment walks the symbol list round-robin, so *when
+    capacity allows* (``n_participants * per_participant >=
+    len(symbols)``) every symbol gets at least one subscriber before
+    any symbol gets a second, and market data flows for the whole
+    universe while each participant works a small book.  With fewer
+    total slots than symbols, full coverage is impossible; the walk
+    then covers exactly the first ``n_participants * per_participant``
+    symbols in list order and the remainder go unsubscribed -- a valid
+    (if quiet) market, not an error.  Remaining per-participant slots
+    beyond the round-robin base are filled randomly from the whole
+    universe.
     """
     if per_participant < 1:
         raise ValueError(f"need at least one symbol per participant, got {per_participant}")
@@ -45,6 +55,93 @@ def split_symbols(
             chosen.add(symbols[int(rng.integers(len(symbols)))])
         assignments.append(sorted(chosen))
     return assignments
+
+
+class BulkOrderStream:
+    """Bulk-generated merged ZI order flow for one engine shard.
+
+    Where :func:`attach_agents` builds one event-driven
+    :class:`TradingAgent` per participant (an event, an RNG draw, and a
+    Python callback per opportunity), this models the *merged* flow of
+    ``n_participants`` ZI traders over a symbol subset as a single
+    chunked numpy stream: Poisson arrival times, participant / symbol /
+    side / quantity / price-offset columns, and a gateway-stamp column
+    (arrival + base latency + gamma jitter), all drawn whole chunks at
+    a time.  This is the order-generation half of the batched kernel
+    (:mod:`repro.core.shardrun`); matching consumes the columns in
+    gateway-stamp order.
+
+    Determinism contract: all draws are chunk-aligned (see
+    :class:`~repro.traders.base.PoissonArrivalStream`), so the stream
+    is bit-identical regardless of how the caller windows time -- the
+    property that lets the sharded run cut time into conservative-sync
+    windows without perturbing the workload.
+    """
+
+    def __init__(
+        self,
+        *,
+        arrivals_rng: np.random.Generator,
+        fields_rng: np.random.Generator,
+        n_participants: int,
+        rate_per_s: float,
+        n_symbols: int,
+        min_qty: int = 1,
+        max_qty: int = 100,
+        aggression: float = 0.18,
+        market_order_fraction: float = 0.10,
+        price_sigma_ticks: float = 15.0,
+        latency_base_ns: int = 80_000,
+        latency_jitter_shape: float = 0.7,
+        latency_jitter_scale_ns: float = 30_000.0,
+        start_ns: int = 0,
+        chunk: int = 4096,
+    ) -> None:
+        if n_participants < 1:
+            raise ValueError(f"need at least one participant, got {n_participants}")
+        if n_symbols < 1:
+            raise ValueError(f"need at least one symbol, got {n_symbols}")
+
+        def draw_fields(n: int) -> dict:
+            fields = zi_bulk_fields(
+                fields_rng,
+                n,
+                n_symbols,
+                min_qty=min_qty,
+                max_qty=max_qty,
+                aggression=aggression,
+                market_order_fraction=market_order_fraction,
+                price_sigma_ticks=price_sigma_ticks,
+            )
+            fields["participant"] = fields_rng.integers(0, n_participants, size=n)
+            fields["latency"] = latency_base_ns + fields_rng.gamma(
+                latency_jitter_shape, latency_jitter_scale_ns, size=n
+            ).astype(np.int64)
+            return fields
+
+        self.arrivals = PoissonArrivalStream(
+            arrivals_rng,
+            rate_per_s,
+            start_ns=start_ns,
+            chunk=chunk,
+            field_factory=draw_fields,
+        )
+        self.emitted = 0
+
+    def take_until(self, t_end_ns: int):
+        """Arrivals in the next window: ``(start_index, times, fields)``.
+
+        ``fields`` additionally carries ``stamp`` (gateway timestamp =
+        arrival + latency; monotone per arrival chunk only in
+        expectation -- matching order is by stamp, not arrival).
+        ``start_index`` is the global index of the first row, giving
+        every order a stable stream-wide id.
+        """
+        times, fields = self.arrivals.take_until(t_end_ns)
+        fields["stamp"] = times + fields.pop("latency")
+        start = self.emitted
+        self.emitted += len(times)
+        return start, times, fields
 
 
 def attach_agents(

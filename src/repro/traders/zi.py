@@ -19,6 +19,52 @@ from repro.core.types import Side, Symbol
 from repro.traders.base import Strategy
 
 
+def zi_bulk_fields(
+    rng: np.random.Generator,
+    n: int,
+    n_symbols: int,
+    min_qty: int = 1,
+    max_qty: int = 100,
+    aggression: float = 0.18,
+    market_order_fraction: float = 0.10,
+    price_sigma_ticks: float = 15.0,
+) -> dict:
+    """Draw ``n`` ZI order rows at once (the batched-kernel workload).
+
+    Vectorized mirror of :meth:`ZeroIntelligenceStrategy.on_order_opportunity`'s
+    distributions for the no-cancel case: uniform symbol and side,
+    uniform quantity, a ``market_order_fraction`` coin, and a limit
+    price expressed as a signed tick ``offset`` relative to whatever
+    reference price applies at match time -- aggressive rows price 1-3
+    ticks through the touch, passive rows rest
+    ``1 + |round(N(0, sigma))|`` ticks behind, with the sign already
+    folded in for the drawn side.  Deferring the reference-price
+    addition to match time is what lets a sharded run pre-draw whole
+    chunks without knowing the future price path: feedback moves the
+    center, never the draws.
+
+    The draw order (symbol, side, qty, market, aggression, through,
+    behind) is fixed and size-independent per call, part of the batched
+    kernel's determinism contract.
+    """
+    symbol = rng.integers(0, n_symbols, size=n)
+    side_buy = rng.random(size=n) < 0.5
+    qty = rng.integers(min_qty, max_qty + 1, size=n)
+    market = rng.random(size=n) < market_order_fraction
+    aggressive = rng.random(size=n) < aggression
+    through = rng.integers(1, 4, size=n)
+    behind = 1 + np.abs(np.rint(rng.normal(0.0, price_sigma_ticks, size=n)).astype(np.int64))
+    offset = np.where(aggressive, through, -behind)
+    offset = np.where(side_buy, offset, -offset)
+    return {
+        "symbol": symbol,
+        "side_buy": side_buy,
+        "qty": qty,
+        "market": market,
+        "offset": offset,
+    }
+
+
 class ZeroIntelligenceStrategy(Strategy):
     """Random orders around the reference price.
 

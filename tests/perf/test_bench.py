@@ -143,3 +143,36 @@ class TestTestbedConfig:
         )
         expected = conftest.paper_testbed_config(n_shards=4, cancel_fraction=0.0)
         assert _testbed_config(4) == expected
+
+
+class TestShardrunBenches:
+    def test_configs_mirror_testbed_economics(self):
+        """The batched Table-1 point must share the scalar testbed's
+        economic knobs, or the batched_speedup ratio is meaningless."""
+        from repro.perf.bench import _shardrun_configs
+
+        configs = _shardrun_configs(quick=True)
+        assert set(configs) == {"shardrun_table1", "shardrun_1m"}
+        table1 = configs["shardrun_table1"]
+        testbed = _testbed_config(4)
+        assert table1.seed == testbed.seed
+        assert table1.n_participants == testbed.n_participants
+        assert table1.n_symbols == testbed.n_symbols
+        assert table1.n_shards == testbed.n_shards
+        assert table1.market_order_fraction == testbed.market_order_fraction
+        assert configs["shardrun_1m"].n_participants == 1_000_000
+
+    def test_batched_speedup_math(self):
+        from repro.perf.bench import _batched_speedup
+
+        benches = {
+            "table1_shards_4": {
+                "wall_s": 2.0,
+                "work": {"throughput_per_s": 1000.0, "sim_duration_s": 0.5},
+            },
+            "shardrun_table1": {"wall_s": 0.1, "work": {"orders": 1000}},
+        }
+        # scalar: 1000 * 0.5 / 2.0 = 250 orders/wall-s; batched: 10_000.
+        assert _batched_speedup(benches) == 40.0
+        assert _batched_speedup({}) is None
+        assert _batched_speedup({"shardrun_table1": benches["shardrun_table1"]}) is None

@@ -164,6 +164,160 @@ class TestRunControl:
         assert sim.events_processed == 5
 
 
+class TestReprAgreesWithPending:
+    def test_repr_agrees_with_pending_after_cancel(self, sim):
+        """Regression: __repr__ used len(self._heap), which counts
+        cancelled-but-unpopped entries and disagrees with pending()."""
+        sim.schedule(100, lambda: None)
+        dropped = sim.schedule(200, lambda: None)
+        dropped.cancel()
+        assert sim.pending() == 1
+        assert "pending=1" in repr(sim)
+
+    def test_repr_counts_message_fast_path_entries(self, sim):
+        sim.schedule_message(50, lambda _: None, None)
+        assert sim.pending() == 1
+        assert "pending=1" in repr(sim)
+
+
+class TestHookSeesFastPathEntries:
+    """Regression: a dispatch_hook installed after schedule_message put
+    tuple fast-path entries in the heap used to miss those dispatches
+    entirely (DispatchProfiler undercounted when tracing was enabled
+    after warmup)."""
+
+    def test_hook_installed_between_schedule_and_run(self, sim):
+        hits, seen = [], []
+        append = hits.append
+        sim.schedule_message(10, append, "a")
+        sim.schedule_message(20, append, "b")
+        sim.dispatch_hook = seen.append
+        sim.run()
+        assert hits == ["a", "b"]
+        assert [(event.time, event.args) for event in seen] == [(10, ("a",)), (20, ("b",))]
+        assert all(event.fn is append for event in seen)
+
+    def test_hook_installed_mid_run(self, sim):
+        seen = []
+        sim.schedule_message(10, lambda _: None, "early")
+        sim.schedule(15, lambda: setattr(sim, "dispatch_hook", seen.append))
+        sim.schedule_message(20, lambda _: None, "late")
+        sim.run()
+        # Only the delivery after the install is traced; it was already
+        # a tuple entry in the heap when the hook appeared.
+        assert [event.args for event in seen] == [("late",)]
+
+    def test_step_invokes_hook_for_tuple_entries(self, sim):
+        seen = []
+        sim.schedule_message(10, lambda _: None, "x")
+        sim.dispatch_hook = seen.append
+        assert sim.step() is True
+        assert [event.args for event in seen] == [("x",)]
+
+    def test_synthetic_event_preserves_seq(self, sim):
+        seen = []
+        sim.schedule(5, lambda: None)  # seq 0
+        sim.schedule_message(10, lambda _: None, "x")  # seq 1
+        sim.dispatch_hook = seen.append
+        sim.run()
+        assert [event.seq for event in seen] == [0, 1]
+
+
+class TestStepSemantics:
+    def test_reentrant_step_rejected(self, sim):
+        """Regression: step() lacked run()'s re-entrancy guard."""
+        errors = []
+
+        def nested():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_step_inside_step_rejected(self, sim):
+        errors = []
+
+        def nested():
+            try:
+                sim.step()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, nested)
+        assert sim.step() is True
+        assert len(errors) == 1
+
+    def test_stop_then_step_honours_the_request(self, sim):
+        """Regression: step() ignored a prior stop() request."""
+        hits = []
+        sim.schedule(10, hits.append, "x")
+        sim.stop()
+        assert sim.step() is False  # consumes the stop request
+        assert hits == []
+        assert sim.pending() == 1
+        assert sim.step() is True  # request was one-shot, like run()
+        assert hits == ["x"]
+
+
+class TestScheduleMessageBulk:
+    def _dispatch_order(self, schedule, n_background=0):
+        sim = Simulator()
+        hits = []
+        for i in range(n_background):
+            sim.schedule(1_000 + i, hits.append, ("bg", i))
+        schedule(sim, hits)
+        sim.run()
+        return hits, sim.events_processed, sim.pending()
+
+    @pytest.mark.parametrize("n_background", [0, 100])
+    @pytest.mark.parametrize("n_entries", [1, 5, 64])
+    def test_matches_scalar_schedule_message(self, n_entries, n_background):
+        """Bulk scheduling consumes the same seq numbers, so dispatch
+        order is identical whichever path (and whichever internal heap
+        strategy) a train takes."""
+        times = [((i * 37) % 19) * 100 for i in range(n_entries)]  # dups included
+
+        def scalar(sim, hits):
+            for i, t in enumerate(times):
+                sim.schedule_message(t, hits.append, ("m", i))
+
+        def bulk(sim, hits):
+            sim.schedule_message_bulk([(t, hits.append, ("m", i)) for i, t in enumerate(times)])
+
+        assert self._dispatch_order(scalar, n_background) == self._dispatch_order(
+            bulk, n_background
+        )
+
+    def test_counts_pending_and_processed(self, sim):
+        sim.schedule_message_bulk([(10, lambda _: None, i) for i in range(12)])
+        assert sim.pending() == 12
+        sim.run()
+        assert sim.events_processed == 12
+        assert sim.pending() == 0
+
+    def test_past_time_rejected_atomically(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        before = sim.pending()
+        with pytest.raises(SimulationError):
+            sim.schedule_message_bulk(
+                [(200, lambda _: None, 0), (50, lambda _: None, 1), (300, lambda _: None, 2)]
+            )
+        assert sim.pending() == before  # validation precedes admission
+
+    def test_delegates_to_events_while_hook_installed(self, sim):
+        seen, hits = [], []
+        sim.dispatch_hook = seen.append
+        sim.schedule_message_bulk([(10, hits.append, "a"), (20, hits.append, "b")])
+        sim.run()
+        assert hits == ["a", "b"]
+        assert [event.args for event in seen] == [("a",), ("b",)]
+
+
 class TestActor:
     def test_unhandled_message_raises(self, sim):
         actor = Actor(sim, "a1")

@@ -36,7 +36,7 @@ class TestParser:
         # The full subcommand surface, pinned: adding one means adding
         # it here, to the dispatcher, and to the --help epilog.
         assert SUBCOMMANDS == (
-            "trace", "chaos", "bench", "sweep", "fairness", "serve", "verify-pack"
+            "trace", "chaos", "bench", "sweep", "fairness", "shardrun", "serve", "verify-pack"
         )
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
